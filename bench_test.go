@@ -1,0 +1,266 @@
+package recoveryblocks
+
+import (
+	"testing"
+
+	"recoveryblocks/internal/rbmodel"
+	"recoveryblocks/internal/sim"
+	"recoveryblocks/internal/synch"
+)
+
+// One benchmark per table/figure of the paper's evaluation, each running the
+// exact code path that regenerates the artifact (scaled-down Monte Carlo so
+// a full -bench=. pass stays in the seconds range). Absolute times are
+// machine-dependent; the benches exist so `go test -bench` regenerates every
+// artifact and reports the cost of doing so.
+
+// BenchmarkTable1 regenerates Table 1: exact chain solves, Y_d split chains,
+// and the DES estimate for all five parameter cases.
+func BenchmarkTable1(b *testing.B) {
+	sz := QuickSizes()
+	for i := 0; i < b.N; i++ {
+		r, err := Table1(sz)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 5 {
+			b.Fatal("wrong row count")
+		}
+	}
+}
+
+// BenchmarkFigure1Domino regenerates the Figure 1 rollback-propagation
+// scenario on the goroutine runtime, including the trace rendering.
+func BenchmarkFigure1Domino(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := Figure1Domino(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Metrics.Recoveries < 1 {
+			b.Fatal("no recovery")
+		}
+	}
+}
+
+// BenchmarkFigure2ModelBuild regenerates the full Figure 2 chain (n = 3)
+// and its absorption solve.
+func BenchmarkFigure2ModelBuild(b *testing.B) {
+	p := rbmodel.Uniform(3, 1, 1)
+	for i := 0; i < b.N; i++ {
+		m, err := rbmodel.NewAsync(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.MeanX(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure3SymmetricBuild regenerates the lumped Figure 3 chain at a
+// scale the full model cannot reach (n = 64).
+func BenchmarkFigure3SymmetricBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m, err := rbmodel.NewSymmetric(64, 1, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.MeanX(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4SplitChain regenerates the Y_d split chain of Figure 4 and
+// its E[L_t] visit counting.
+func BenchmarkFigure4SplitChain(b *testing.B) {
+	p := rbmodel.Table1Cases()[1].Params
+	for i := 0; i < b.N; i++ {
+		sc, err := rbmodel.NewSplitChain(p, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sc.MeanL(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5Sweep regenerates the Figure 5 sweep (exact models up to
+// n = 6, lumped beyond).
+func BenchmarkFigure5Sweep(b *testing.B) {
+	ns := []int{2, 3, 4, 5, 6, 8, 12, 24}
+	for i := 0; i < b.N; i++ {
+		r, err := Figure5(ns, []float64{1.0, 2.0}, 6, Sizes{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) != 2*len(ns) {
+			b.Fatal("wrong point count")
+		}
+	}
+}
+
+// BenchmarkFigure6Density regenerates the Figure 6 density curves
+// (uniformization over the 9-state chains plus a simulated histogram).
+func BenchmarkFigure6Density(b *testing.B) {
+	sz := QuickSizes()
+	for i := 0; i < b.N; i++ {
+		r, err := Figure6(41, 2.0, sz)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Series) != 3 {
+			b.Fatal("wrong series count")
+		}
+	}
+}
+
+// BenchmarkFigure7SyncTrace regenerates the Figure 7 conversation scenario.
+func BenchmarkFigure7SyncTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure7SyncTrace(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure8PRPTrace regenerates the Figure 8 PRP scenario.
+func BenchmarkFigure8PRPTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Figure8PRPTrace(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSection3SyncLoss regenerates the Section 3 loss analysis.
+func BenchmarkSection3SyncLoss(b *testing.B) {
+	sz := QuickSizes()
+	for i := 0; i < b.N; i++ {
+		if _, err := Section3(sz); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSection4PRPOverhead regenerates the Section 4 trade-off table.
+func BenchmarkSection4PRPOverhead(b *testing.B) {
+	sz := QuickSizes()
+	for i := 0; i < b.N; i++ {
+		if _, err := Section4([]int{2, 3, 4}, 0.05, 2.0, sz); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation / micro benchmarks for the design choices in DESIGN.md ----
+
+// BenchmarkAbsorptionSolveDirect measures the dense LU absorption solve on
+// the full model at growing n (the 2^n scaling DESIGN.md calls out). Rates
+// follow the Figure 5 convention (μ = 1, λ = ρ/(n−1) at ρ = 2) so the
+// problem difficulty is comparable across n.
+func BenchmarkAbsorptionSolveDirect(b *testing.B) {
+	for _, n := range []int{4, 6, 8, 10} {
+		p := rbmodel.Uniform(n, 1, 2/float64(n-1))
+		b.Run(benchName("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m, err := rbmodel.NewAsync(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.MeanX(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAbsorptionSolveIterative measures the Gauss–Seidel alternative on
+// the same fixed-ρ instances (its advantage is memory: no dense 2^n×2^n
+// factorization; its weakness is slow convergence as λ/μ grows).
+func BenchmarkAbsorptionSolveIterative(b *testing.B) {
+	for _, n := range []int{4, 6, 8, 10} {
+		p := rbmodel.Uniform(n, 1, 2/float64(n-1))
+		m, err := rbmodel.NewAsync(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(benchName("n", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Chain().MeanAbsorptionTimeIterative(m.Entry(), 1e-10, 2000000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatedInterval measures the DES cost per recovery-line
+// interval.
+func BenchmarkSimulatedInterval(b *testing.B) {
+	p := rbmodel.Uniform(3, 1, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SimulateAsync(p, sim.AsyncOptions{Intervals: 100, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyncLossClosedForm measures the 2^n inclusion–exclusion E[Z].
+func BenchmarkSyncLossClosedForm(b *testing.B) {
+	mu := make([]float64, 16)
+	for i := range mu {
+		mu[i] = 1 + float64(i)/16
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := synch.MeanLoss(mu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRuntimeMessageRoundtrip measures the goroutine runtime's cost for
+// a send/receive pair through the logging router.
+func BenchmarkRuntimeMessageRoundtrip(b *testing.B) {
+	const k = 200
+	p0 := NewBuilder()
+	p1 := NewBuilder()
+	for i := 0; i < k; i++ {
+		p0.Send(1, "m", func(c *Ctx) Value { return int64(1) })
+		p1.Recv(0, "m", func(c *Ctx, v Value) { c.State.(*Counter).V += v.(int64) })
+	}
+	prog0, prog1 := p0.MustBuild(), p1.MustBuild()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sys, err := NewSystem(Config{Seed: int64(i)}, []Program{prog0, prog1},
+			[]State{&Counter{}, &Counter{}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchName(k string, v int) string {
+	return k + "=" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

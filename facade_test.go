@@ -1,0 +1,126 @@
+package recoveryblocks
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFacadeModelRoundtrip(t *testing.T) {
+	m, err := NewAsyncModel(UniformParams(3, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := m.MeanX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ex-2.5) > 1e-10 {
+		t.Fatalf("facade E[X] = %v", ex)
+	}
+}
+
+func TestFacadeRuntimeRoundtrip(t *testing.T) {
+	prog := NewBuilder().
+		BeginBlock("b", 2).
+		Work("w", func(c *Ctx) {
+			if c.Attempt == 0 {
+				c.State.(*Counter).V = 1
+			} else {
+				c.State.(*Counter).V = 2
+			}
+		}).
+		EndBlock("b", func(c *Ctx) bool { return c.State.(*Counter).V == 2 }).
+		MustBuild()
+	sys, err := NewSystem(Config{}, []Program{prog}, []State{&Counter{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Procs[0].ATFailures != 1 {
+		t.Fatalf("alternate did not run: %+v", m.Procs[0])
+	}
+	if got := sys.FinalStates()[0].(*Counter).V; got != 2 {
+		t.Fatalf("final = %d", got)
+	}
+}
+
+func TestFacadeSyncHelpers(t *testing.T) {
+	cl, err := SyncMeanLoss([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n(H_n − 1) = 3(11/6 − 1) = 2.5
+	if math.Abs(cl-2.5) > 1e-12 {
+		t.Fatalf("CL = %v", cl)
+	}
+	z, err := SyncMeanWait([]float64{2})
+	if err != nil || math.Abs(z-0.5) > 1e-12 {
+		t.Fatalf("E[Z] = %v err %v", z, err)
+	}
+}
+
+func TestFacadePlanningHelpers(t *testing.T) {
+	mu := []float64{1, 1, 1}
+	tau, over, err := OptimalSyncInterval(mu, 0.01)
+	if err != nil || tau <= 0 || over <= 0 || over >= 1 {
+		t.Fatalf("OptimalSyncInterval = (%v, %v, %v)", tau, over, err)
+	}
+	at, err := SyncOverheadRate(mu, tau, 0.01)
+	if err != nil || math.Abs(at-over) > 1e-12 {
+		t.Fatalf("overhead at optimum: %v vs %v", at, over)
+	}
+	m, err := NewAsyncModel(UniformParams(3, 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := m.DeadlineMissProb(2.5)
+	if err != nil || p <= 0 || p >= 1 {
+		t.Fatalf("DeadlineMissProb = %v err %v", p, err)
+	}
+	q, err := m.QuantileX(0.9)
+	if err != nil || q <= 0 {
+		t.Fatalf("QuantileX = %v err %v", q, err)
+	}
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	r, err := SimulateAsync(UniformParams(3, 1, 1), AsyncOptions{Intervals: 3000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X.Mean()-2.5) > 0.2 {
+		t.Fatalf("sim E[X] = %v", r.X.Mean())
+	}
+}
+
+func TestFacadeExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments in -short mode")
+	}
+	sz := QuickSizes()
+	t1, err := Table1(sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(t1.Format(), "case 3") {
+		t.Error("Table1 format")
+	}
+	g, err := ModelGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(g.FullDOT, "digraph") {
+		t.Error("graphs")
+	}
+	f1, err := Figure1Domino(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1.Metrics.Recoveries == 0 {
+		t.Error("domino demo had no recovery")
+	}
+}

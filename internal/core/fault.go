@@ -1,0 +1,103 @@
+package core
+
+// FaultKind describes how an injected error manifests.
+type FaultKind int
+
+const (
+	// FaultLocal is an error local to the process (a computation error the
+	// next acceptance test catches, per the perfect-acceptance-test
+	// assumption). Recovery restarts from the process's previous recovery
+	// point (plus whatever propagation the message log forces).
+	FaultLocal FaultKind = iota
+	// FaultPropagated marks an error that arrived from another process
+	// (erroneous message contents that local acceptance tests could not
+	// see). Under the PRP strategy this triggers the Section 4 pointer
+	// algorithm: rollback continues until every process has rolled back
+	// past one of its own recovery points.
+	FaultPropagated
+)
+
+// Fault is one scheduled error injection: it fires when process Proc is
+// about to execute step PC for the Visit-th time (1-based). One-shot.
+type Fault struct {
+	Proc  int
+	PC    int
+	Visit int
+	Kind  FaultKind
+}
+
+// FaultPlan is a deterministic error schedule. The zero value injects
+// nothing.
+type FaultPlan struct {
+	Faults []Fault
+	visits map[[2]int]int
+}
+
+// NewFaultPlan bundles the given faults.
+func NewFaultPlan(faults ...Fault) *FaultPlan {
+	return &FaultPlan{Faults: faults}
+}
+
+// fire reports whether a fault triggers for (proc, pc) at this visit, and
+// which kind. Each matching fault fires exactly once.
+func (f *FaultPlan) fire(proc, pc int) (FaultKind, bool) {
+	if f == nil {
+		return 0, false
+	}
+	if f.visits == nil {
+		f.visits = make(map[[2]int]int)
+	}
+	key := [2]int{proc, pc}
+	f.visits[key]++
+	visit := f.visits[key]
+	for i := range f.Faults {
+		ft := &f.Faults[i]
+		want := ft.Visit
+		if want == 0 {
+			want = 1
+		}
+		if ft.Proc == proc && ft.PC == pc && want == visit {
+			return ft.Kind, true
+		}
+	}
+	return 0, false
+}
+
+// ATOverride forces the acceptance test of (proc, pc) to fail for the first
+// Fails attempts — the standard way to exercise alternates ("ensure AT by
+// primary else by alternate").
+type ATOverride struct {
+	Proc  int
+	PC    int // pc of the EndBlock or Conversation step
+	Fails int
+}
+
+// ATPlan is a deterministic acceptance-test failure schedule.
+type ATPlan struct {
+	Overrides []ATOverride
+	counts    map[[2]int]int
+}
+
+// NewATPlan bundles the given overrides.
+func NewATPlan(overrides ...ATOverride) *ATPlan {
+	return &ATPlan{Overrides: overrides}
+}
+
+// forceFail reports whether the AT at (proc, pc) must be failed this time.
+func (a *ATPlan) forceFail(proc, pc int) bool {
+	if a == nil {
+		return false
+	}
+	if a.counts == nil {
+		a.counts = make(map[[2]int]int)
+	}
+	key := [2]int{proc, pc}
+	for i := range a.Overrides {
+		o := &a.Overrides[i]
+		if o.Proc == proc && o.PC == pc && a.counts[key] < o.Fails {
+			a.counts[key]++
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,453 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/trace"
+)
+
+// Sentinel results of step execution. errRolledBack means the process was
+// restored to an earlier checkpoint while it waited: the run loop simply
+// continues from the restored program counter. errShutdown ends the
+// goroutine.
+var (
+	errRolledBack = errors.New("core: rolled back")
+	errShutdown   = errors.New("core: shutdown")
+	// errRetryStep re-executes the current step without advancing the pc —
+	// used when a conversation barrier was reset by an unrelated recovery
+	// and the participant must re-arrive.
+	errRetryStep = errors.New("core: retry step")
+)
+
+// Process is one concurrent process: a goroutine executing a straight-line
+// program of work, message and recovery-block steps against private state.
+type Process struct {
+	id   int
+	sys  *System
+	prog Program
+
+	// Execution position. Written by the owning goroutine while running and
+	// by the recovery coordinator only while this process is parked.
+	state    State
+	pc       int
+	epoch    int // bumped by every restore
+	sendSeq  []int
+	recvSeq  []int
+	workDone int
+	done     bool
+
+	checkpoints []*Checkpoint
+	attempts    map[int]int // BeginBlock pc → attempt counter
+	rpCount     int         // running index of proper RPs (anchors PRPs)
+	pendingPRPs []Anchor    // implantation requests to honor at the next boundary
+
+	stats ProcStats
+}
+
+// mix64 derives a per-(seed, proc, pc) RNG seed, SplitMix64-style, so that
+// re-executing a step after rollback replays the identical variate sequence
+// (deterministic re-execution keeps regenerated messages consistent).
+func mix64(seed int64, proc, pc int) int64 {
+	z := uint64(seed) ^ uint64(proc)*0x9e3779b97f4a7c15 ^ uint64(pc)*0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// ctx builds the user-function context for the current step. attempt is the
+// attempt counter of the innermost enclosing recovery block.
+func (p *Process) ctx() *Ctx {
+	attempt := 0
+	if bp := p.sys.enclosing[p.id][p.pc]; bp >= 0 {
+		attempt = p.attempts[bp]
+	}
+	return &Ctx{
+		Self:    p.id,
+		State:   p.state,
+		Rng:     dist.NewStream(mix64(p.sys.opts.Seed, p.id, p.pc)),
+		Attempt: attempt,
+	}
+}
+
+// run is the process goroutine body.
+func (p *Process) run() {
+	defer p.sys.wg.Done()
+	for {
+		if !p.gate() {
+			return
+		}
+		switch err := p.exec(); err {
+		case nil, errRolledBack, errRetryStep:
+			// keep going from the (possibly restored) pc
+		case errShutdown:
+			return
+		}
+	}
+}
+
+// gate parks the process across freezes, honors pending PRP implantation
+// requests, and handles program completion. It returns false on shutdown
+// and true when a step at p.pc should execute.
+func (p *Process) gate() bool {
+	s := p.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		switch {
+		case len(p.pendingPRPs) > 0 && !s.frozen:
+			// "It records its state as PRP upon the completion of the
+			// current instruction without an acceptance test" (Section 4,
+			// implantation step 2); the commitment C_i' is implicit in the
+			// checkpoint becoming visible under the system lock. This takes
+			// precedence even over shutdown: a finished process woken by the
+			// final broadcast must still honor implantation requests queued
+			// before the system drained, or the requester's pseudo recovery
+			// line would silently miss a member.
+			p.savePRPsLocked()
+		case s.shuttingDown:
+			return false
+		case s.frozen:
+			p.parkLocked()
+		case p.pc >= len(p.prog.steps):
+			if !p.done {
+				p.done = true
+				s.doneCount++
+				if s.doneCount == s.n {
+					s.shuttingDown = true
+					s.cond.Broadcast()
+					return false
+				}
+			}
+			p.parkLocked()
+		default:
+			return true
+		}
+	}
+}
+
+// savePRPsLocked honors queued implantation requests. Requests whose anchor
+// generation has already been superseded (the owner has established two or
+// more newer recovery points, so the pseudo line would be purged on arrival)
+// are skipped — implanting them would only create dead storage.
+func (p *Process) savePRPsLocked() {
+	for _, anchor := range p.pendingPRPs {
+		if anchor.Index < p.sys.procs[anchor.Owner].rpCount-2 {
+			continue
+		}
+		cp := p.snapshot(KindPRP)
+		cp.PC = p.pc
+		cp.Anchor = anchor
+		p.checkpoints = append(p.checkpoints, cp)
+		p.stats.PRPsSaved++
+		p.sys.emitLocked(p.id, trace.EvPRP, anchor.Owner,
+			fmt.Sprintf("RP%d of P%d", anchor.Index+1, anchor.Owner+1))
+	}
+	p.pendingPRPs = p.pendingPRPs[:0]
+	p.sys.notePRPCommitLocked(p)
+	p.updateLiveHighWaterLocked()
+}
+
+func (p *Process) updateLiveHighWaterLocked() {
+	if live := p.liveCheckpoints(); live > p.stats.MaxLiveCheckpoints {
+		p.stats.MaxLiveCheckpoints = live
+	}
+}
+
+// exec runs the step at p.pc. On success it advances the program counter.
+func (p *Process) exec() error {
+	s := p.sys
+	st := &p.prog.steps[p.pc]
+
+	// Scheduled fault injection fires before the step body: the error is
+	// detected "during normal execution" (Section 1) and triggers recovery.
+	s.mu.Lock()
+	if kind, ok := s.faults.fire(p.id, p.pc); ok {
+		if kind == FaultPropagated {
+			s.emitLocked(p.id, trace.EvFault, 0, "propagated from another process")
+		} else {
+			s.emitLocked(p.id, trace.EvFault, 0, "local")
+		}
+		err := s.failLocked(p, failure{kind: failInjected, fault: kind})
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+
+	switch st.kind {
+	case stepWork:
+		c := p.ctx()
+		st.work(c)
+		p.state = c.State
+		p.workDone++
+		p.stats.WorkDone++
+	case stepSend:
+		c := p.ctx()
+		payload := st.payload(c)
+		p.state = c.State
+		s.mu.Lock()
+		s.router.send(p.id, st.peer, p.sendSeq[st.peer], payload, s.tick())
+		s.emitLocked(p.id, trace.EvSend, st.peer, st.name)
+		p.sendSeq[st.peer]++
+		p.stats.MessagesSent++
+		s.cond.Broadcast() // wake a receiver blocked on this edge
+		s.mu.Unlock()
+	case stepRecv:
+		return p.execRecv(st)
+	case stepBegin:
+		s.mu.Lock()
+		p.saveRPLocked()
+		s.mu.Unlock()
+	case stepEnd:
+		return p.execEnd(st)
+	case stepConversation:
+		return p.execConversation(st)
+	}
+	p.pc++
+	return nil
+}
+
+// execRecv blocks until the next message on the edge is available, then
+// folds it into the state.
+func (p *Process) execRecv(st *step) error {
+	s := p.sys
+	s.mu.Lock()
+	epoch := p.epoch
+	for {
+		if s.shuttingDown {
+			s.mu.Unlock()
+			return errShutdown
+		}
+		if p.epoch != epoch {
+			s.mu.Unlock()
+			return errRolledBack
+		}
+		if !s.frozen && s.router.available(st.peer, p.id, p.recvSeq[st.peer]) {
+			break
+		}
+		p.parkLocked()
+	}
+	v := s.router.fetch(st.peer, p.id, p.recvSeq[st.peer])
+	s.emitLocked(p.id, trace.EvRecv, st.peer, st.name)
+	p.recvSeq[st.peer]++
+	p.stats.MessagesReceived++
+	s.mu.Unlock()
+
+	c := p.ctx()
+	st.onRecv(c, v)
+	p.state = c.State
+	p.pc++
+	return nil
+}
+
+// saveRPLocked establishes a proper recovery point at a BeginBlock and, under
+// the PRP strategy, broadcasts the implantation request of Section 4.
+func (p *Process) saveRPLocked() {
+	cp := p.snapshot(KindRP)
+	cp.PC = p.pc + 1 // restart position: just inside the block
+	cp.RPIndex = p.rpCount
+	p.rpCount++
+	p.checkpoints = append(p.checkpoints, cp)
+	p.stats.RPsSaved++
+	p.sys.emitLocked(p.id, trace.EvRP, 0, p.prog.steps[p.pc].name)
+	if p.sys.opts.Strategy == StrategyPRP {
+		anchor := Anchor{Owner: p.id, Index: cp.RPIndex}
+		for _, q := range p.sys.procs {
+			if q.id != p.id {
+				q.pendingPRPs = append(q.pendingPRPs, anchor)
+			}
+		}
+		p.sys.purgeForNewRPLocked(p)
+		p.sys.cond.Broadcast() // parked processes should wake to implant
+	}
+	p.updateLiveHighWaterLocked()
+}
+
+// execEnd runs the acceptance test closing a recovery block.
+func (p *Process) execEnd(st *step) error {
+	c := p.ctx()
+	ok := st.accept(c)
+	p.state = c.State
+
+	s := p.sys
+	s.mu.Lock()
+	if s.atplan.forceFail(p.id, p.pc) {
+		ok = false
+	}
+	if ok {
+		s.mu.Unlock()
+		p.pc++
+		return nil
+	}
+	p.stats.ATFailures++
+	s.emitLocked(p.id, trace.EvATFail, 0, st.name)
+	err := s.failLocked(p, failure{kind: failAcceptance, beginPC: st.beginPC})
+	s.mu.Unlock()
+	return err
+}
+
+// parkWhileFrozenLocked parks through an active recovery. Caller holds the
+// lock. Returns nil when execution may continue, errRolledBack if the
+// recovery restored this process, errShutdown on shutdown.
+func (p *Process) parkWhileFrozenLocked() error {
+	s := p.sys
+	epoch := p.epoch
+	for s.frozen && !s.shuttingDown {
+		p.parkLocked()
+	}
+	if s.shuttingDown {
+		return errShutdown
+	}
+	if p.epoch != epoch {
+		return errRolledBack
+	}
+	return nil
+}
+
+// execConversation implements the Section 3 protocol: broadcast readiness,
+// wait for every process's commitment, run the acceptance test at the test
+// line, and record the state — a recovery line by construction. Conversations
+// span all processes of the system; every program must contain the
+// conversation steps in the same order.
+func (p *Process) execConversation(st *step) error {
+	s := p.sys
+	s.mu.Lock()
+	if err := p.parkWhileFrozenLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	c := s.convFor(st.name)
+	epoch := p.epoch
+	reset := c.resetGen
+	arrivedAt := time.Now()
+
+	// Steps 2-3 of the protocol: set our ready flag; wait for all P_ij-ready.
+	c.arrived++
+	if c.arrived == s.n {
+		c.phase1Gen++
+		c.arrived = 0
+		s.cond.Broadcast()
+	} else {
+		gen := c.phase1Gen
+		for c.phase1Gen == gen && c.resetGen == reset && p.epoch == epoch && !s.shuttingDown {
+			p.parkLocked()
+		}
+		if err := p.convWaitOutcome(epoch, reset, c); err != nil {
+			p.stats.ConversationWait += time.Since(arrivedAt)
+			s.mu.Unlock()
+			return err
+		}
+	}
+	p.stats.ConversationWait += time.Since(arrivedAt)
+	s.mu.Unlock()
+
+	// Step 4: the acceptance test at the test line.
+	cx := p.ctx()
+	ok := st.accept(cx)
+	p.state = cx.State
+
+	s.mu.Lock()
+	if err := p.parkWhileFrozenLocked(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if c.resetGen != reset {
+		s.mu.Unlock()
+		return errRetryStep
+	}
+	if s.atplan.forceFail(p.id, p.pc) {
+		ok = false
+	}
+	if !ok {
+		p.stats.ATFailures++
+		s.emitLocked(p.id, trace.EvATFail, 0, st.name)
+		c.fails++
+	}
+	c.tested++
+	if c.tested == s.n {
+		c.tested = 0
+		fails := c.fails
+		c.fails = 0
+		if fails > 0 {
+			// Some participant's test rejected the test line: every
+			// participant rolls back to the previous recovery line. All
+			// other processes are parked in this conversation, so this
+			// process acts as the recovery coordinator.
+			err := s.failLocked(p, failure{kind: failConversation})
+			s.mu.Unlock()
+			return err
+		}
+		// Commit: record the recovery line for EVERY participant in this
+		// single lock hold. All other participants are parked at their
+		// conversation step, so their states are stable and the saved set
+		// is globally consistent by construction. Committing atomically
+		// closes the window in which a concurrent recovery could observe
+		// half the line saved (and deadlock the stragglers by resetting
+		// the barrier under them).
+		for _, q := range s.procs {
+			cp := q.snapshot(KindConversation)
+			cp.PC = q.pc + 1
+			q.checkpoints = append(q.checkpoints, cp)
+			q.stats.ConversationsSaved++
+			q.updateLiveHighWaterLocked()
+			s.emitLocked(q.id, trace.EvConversation, 0, st.name)
+		}
+		c.phase2Gen++
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		p.pc++
+		return nil
+	}
+	gen := c.phase2Gen
+	for c.phase2Gen == gen && c.resetGen == reset && p.epoch == epoch && !s.shuttingDown {
+		p.parkLocked()
+	}
+	switch {
+	case s.shuttingDown:
+		s.mu.Unlock()
+		return errShutdown
+	case p.epoch != epoch:
+		// Restored by a recovery (possibly onto the committed line itself —
+		// the pc was rewound appropriately either way).
+		s.mu.Unlock()
+		return errRolledBack
+	case c.phase2Gen != gen:
+		// Committed: our checkpoint was saved by the committing process.
+		s.mu.Unlock()
+		p.pc++
+		return nil
+	default:
+		// Reset by an unrelated recovery before the commit: re-arrive.
+		s.mu.Unlock()
+		return errRetryStep
+	}
+}
+
+// convWaitOutcome classifies why a phase-1 conversation wait ended. nil
+// means the phase was released normally.
+func (p *Process) convWaitOutcome(epoch, reset int, c *convState) error {
+	switch {
+	case p.sys.shuttingDown:
+		return errShutdown
+	case p.epoch != epoch:
+		return errRolledBack
+	case c.resetGen != reset:
+		return errRetryStep
+	default:
+		return nil
+	}
+}
+
+// latestIndexWhere returns the index of the newest unpurged checkpoint
+// satisfying pred, or -1.
+func (p *Process) latestIndexWhere(pred func(*Checkpoint) bool) int {
+	for i := len(p.checkpoints) - 1; i >= 0; i-- {
+		cp := p.checkpoints[i]
+		if !cp.purged && pred(cp) {
+			return i
+		}
+	}
+	return -1
+}

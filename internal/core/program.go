@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+
+	"recoveryblocks/internal/dist"
+)
+
+// Ctx is handed to every user function. It exposes the process's mutable
+// state, a deterministic random stream (re-seeded per step so re-execution
+// after rollback replays identically), and the attempt number of the
+// innermost enclosing recovery block (0 = primary, k = k-th alternate) so
+// alternates can take different algorithmic routes.
+type Ctx struct {
+	Self    int
+	State   State
+	Rng     *dist.Stream
+	Attempt int
+}
+
+// WorkFn mutates ctx.State in place (or replaces it via ctx.State = ...).
+type WorkFn func(ctx *Ctx)
+
+// PayloadFn computes an outgoing message payload from the current state.
+type PayloadFn func(ctx *Ctx) Value
+
+// RecvFn folds a received payload into the state.
+type RecvFn func(ctx *Ctx, v Value)
+
+// AcceptFn is an acceptance test: true means the computation is acceptable.
+type AcceptFn func(ctx *Ctx) bool
+
+type stepKind int
+
+const (
+	stepWork stepKind = iota
+	stepSend
+	stepRecv
+	stepBegin
+	stepEnd
+	stepConversation
+)
+
+// step is one instruction of a process program. Programs are straight-line
+// step lists; loops are unrolled by the builder, which keeps the program
+// counter a complete description of control position — that is what makes a
+// checkpoint (state, pc, cursors) sufficient for rollback.
+type step struct {
+	kind       stepKind
+	name       string
+	work       WorkFn
+	payload    PayloadFn
+	onRecv     RecvFn
+	accept     AcceptFn
+	peer       int // Send destination / Recv source
+	alternates int // BeginBlock: number of admissible attempts
+	beginPC    int // EndBlock: pc of the matching BeginBlock
+}
+
+// Program is an immutable process program built with Builder.
+type Program struct {
+	steps []step
+}
+
+// Len returns the number of steps.
+func (p Program) Len() int { return len(p.steps) }
+
+// Builder assembles a Program. Methods return the builder for chaining.
+type Builder struct {
+	steps []step
+	open  []int // stack of BeginBlock pcs awaiting EndBlock
+	err   error
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+func (b *Builder) fail(format string, args ...interface{}) *Builder {
+	if b.err == nil {
+		b.err = fmt.Errorf(format, args...)
+	}
+	return b
+}
+
+// Work appends a computation step.
+func (b *Builder) Work(name string, fn WorkFn) *Builder {
+	if fn == nil {
+		return b.fail("core: Work %q needs a function", name)
+	}
+	b.steps = append(b.steps, step{kind: stepWork, name: name, work: fn})
+	return b
+}
+
+// Send appends an asynchronous message send to process `to`.
+func (b *Builder) Send(to int, name string, fn PayloadFn) *Builder {
+	if fn == nil {
+		return b.fail("core: Send %q needs a payload function", name)
+	}
+	b.steps = append(b.steps, step{kind: stepSend, name: name, peer: to, payload: fn})
+	return b
+}
+
+// Recv appends a blocking receive from process `from`.
+func (b *Builder) Recv(from int, name string, fn RecvFn) *Builder {
+	if fn == nil {
+		return b.fail("core: Recv %q needs a handler", name)
+	}
+	b.steps = append(b.steps, step{kind: stepRecv, name: name, peer: from, onRecv: fn})
+	return b
+}
+
+// BeginBlock opens a recovery block: a recovery point is saved here, and the
+// region until the matching EndBlock may be retried up to `alternates`
+// times (user functions read ctx.Attempt to select the alternate
+// algorithm). alternates must be ≥ 1.
+func (b *Builder) BeginBlock(name string, alternates int) *Builder {
+	if alternates < 1 {
+		return b.fail("core: block %q needs at least one alternate", name)
+	}
+	b.open = append(b.open, len(b.steps))
+	b.steps = append(b.steps, step{kind: stepBegin, name: name, alternates: alternates})
+	return b
+}
+
+// EndBlock closes the innermost recovery block with an acceptance test.
+func (b *Builder) EndBlock(name string, accept AcceptFn) *Builder {
+	if accept == nil {
+		return b.fail("core: EndBlock %q needs an acceptance test", name)
+	}
+	if len(b.open) == 0 {
+		return b.fail("core: EndBlock %q without matching BeginBlock", name)
+	}
+	begin := b.open[len(b.open)-1]
+	b.open = b.open[:len(b.open)-1]
+	b.steps = append(b.steps, step{kind: stepEnd, name: name, accept: accept, beginPC: begin})
+	return b
+}
+
+// Conversation appends a synchronized acceptance test: the process
+// broadcasts readiness, waits for every other process to reach its own
+// conversation step with the same name, runs the acceptance test at the
+// common test line and records its state — establishing a recovery line by
+// construction (Section 3, steps 1–4).
+func (b *Builder) Conversation(name string, accept AcceptFn) *Builder {
+	if accept == nil {
+		return b.fail("core: Conversation %q needs an acceptance test", name)
+	}
+	b.steps = append(b.steps, step{kind: stepConversation, name: name, accept: accept})
+	return b
+}
+
+// Build finalizes the program.
+func (b *Builder) Build() (Program, error) {
+	if b.err != nil {
+		return Program{}, b.err
+	}
+	if len(b.open) > 0 {
+		return Program{}, fmt.Errorf("core: %d recovery block(s) left open", len(b.open))
+	}
+	steps := make([]step, len(b.steps))
+	copy(steps, b.steps)
+	return Program{steps: steps}, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func (b *Builder) MustBuild() Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

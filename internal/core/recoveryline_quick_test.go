@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomHistories builds per-process candidate lists with monotonically
+// nondecreasing cursors (as real checkpoint histories are) from a seed.
+func randomHistories(seed int64, n, depth int) [][]CutCandidate {
+	rng := rand.New(rand.NewSource(seed))
+	cands := make([][]CutCandidate, n)
+	for p := 0; p < n; p++ {
+		send := make([]int, n)
+		recv := make([]int, n)
+		for k := 0; k < depth; k++ {
+			// advance a few cursors between checkpoints
+			for step := 0; step < 3; step++ {
+				q := rng.Intn(n)
+				if q == p {
+					continue
+				}
+				if rng.Intn(2) == 0 {
+					send[q]++
+				} else {
+					recv[q]++
+				}
+			}
+			cands[p] = append(cands[p], CutCandidate{
+				SendSeq: append([]int(nil), send...),
+				RecvSeq: append([]int(nil), recv...),
+			})
+		}
+		// index 0 must be the start checkpoint: zero cursors
+		cands[p][0] = CutCandidate{SendSeq: make([]int, n), RecvSeq: make([]int, n)}
+	}
+	return cands
+}
+
+// TestFindRecoveryLineAlwaysConsistent: whatever the history, the returned
+// cut must satisfy the no-orphan criterion (property test).
+func TestFindRecoveryLineAlwaysConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 2 + int(uint(seed)%3)
+		cands := randomHistories(seed, n, 6)
+		start := make([]int, n)
+		for p := range start {
+			start[p] = len(cands[p]) - 1
+		}
+		cut := findRecoveryLine(cands, start)
+		for p, c := range cut {
+			if c < 0 || c >= len(cands[p]) {
+				return false
+			}
+		}
+		return cutConsistent(cands, cut)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFindRecoveryLineNeverAboveStart: the fixpoint only moves down.
+func TestFindRecoveryLineNeverAboveStart(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 2 + int(uint(seed)%3)
+		cands := randomHistories(seed, n, 5)
+		start := make([]int, n)
+		for p := range start {
+			start[p] = int(uint(seed+int64(p)) % uint(len(cands[p])))
+		}
+		cut := findRecoveryLine(cands, start)
+		for p := range cut {
+			if cut[p] > start[p] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFindRecoveryLineMaximality: raising any single process above the
+// returned cut (keeping others fixed) must break consistency or exceed its
+// start index — i.e. the cut is not needlessly deep, pointwise.
+func TestFindRecoveryLineMaximality(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 2 + int(uint(seed)%2)
+		cands := randomHistories(seed, n, 5)
+		start := make([]int, n)
+		for p := range start {
+			start[p] = len(cands[p]) - 1
+		}
+		cut := findRecoveryLine(cands, start)
+		for p := range cut {
+			if cut[p] == start[p] {
+				continue
+			}
+			probe := append([]int(nil), cut...)
+			probe[p] = cut[p] + 1
+			if cutConsistent(cands, probe) {
+				// A strictly higher consistent cut existed for p alone: the
+				// fixpoint rolled p back too far.
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

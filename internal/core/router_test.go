@@ -1,0 +1,69 @@
+package core
+
+import "testing"
+
+func TestRouterFIFOAndAvailability(t *testing.T) {
+	r := newRouter(3)
+	if r.available(0, 1, 0) {
+		t.Fatal("empty edge reported available")
+	}
+	r.send(0, 1, 0, "a", 1)
+	r.send(0, 1, 1, "b", 2)
+	if !r.available(0, 1, 0) || !r.available(0, 1, 1) || r.available(0, 1, 2) {
+		t.Fatal("availability wrong")
+	}
+	if r.fetch(0, 1, 0) != "a" || r.fetch(0, 1, 1) != "b" {
+		t.Fatal("FIFO order broken")
+	}
+	if r.sent != 2 {
+		t.Fatalf("sent = %d", r.sent)
+	}
+}
+
+func TestRouterEdgesAreIndependent(t *testing.T) {
+	r := newRouter(3)
+	r.send(0, 1, 0, "x", 1)
+	if r.available(1, 0, 0) || r.available(0, 2, 0) {
+		t.Fatal("messages leaked to other edges")
+	}
+	if r.edgeLen(0, 1) != 1 || r.edgeLen(1, 0) != 0 {
+		t.Fatal("edge lengths wrong")
+	}
+}
+
+func TestRouterTruncatePurgesOrphans(t *testing.T) {
+	r := newRouter(2)
+	for i := 0; i < 5; i++ {
+		r.send(0, 1, i, i, int64(i))
+	}
+	r.truncate(0, 1, 2) // sender rolled back to sendSeq = 2
+	if r.edgeLen(0, 1) != 2 {
+		t.Fatalf("edge length after truncate = %d", r.edgeLen(0, 1))
+	}
+	if r.purged != 3 {
+		t.Fatalf("purged = %d", r.purged)
+	}
+	if r.available(0, 1, 2) {
+		t.Fatal("truncated message still available")
+	}
+	// Retained prefix must survive for replay.
+	if r.fetch(0, 1, 1) != 1 {
+		t.Fatal("retained message corrupted")
+	}
+	// Truncating at or above the length is a no-op.
+	r.truncate(0, 1, 10)
+	if r.purged != 3 || r.edgeLen(0, 1) != 2 {
+		t.Fatal("no-op truncate changed state")
+	}
+}
+
+func TestRouterResendAfterTruncate(t *testing.T) {
+	// Deterministic re-execution resends with the same sequence numbers.
+	r := newRouter(2)
+	r.send(0, 1, 0, "v1", 1)
+	r.truncate(0, 1, 0)
+	r.send(0, 1, 0, "v1'", 2) // a different alternate may produce new content
+	if got := r.fetch(0, 1, 0); got != "v1'" {
+		t.Fatalf("resent message = %v", got)
+	}
+}

@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+func TestIntsCloneIsDeep(t *testing.T) {
+	a := Ints{1, 2, 3}
+	b := a.Clone().(Ints)
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Ints.Clone shares backing storage")
+	}
+	if len(b) != 3 || b[1] != 2 {
+		t.Fatal("clone content wrong")
+	}
+}
+
+func TestRecordCloneIsDeep(t *testing.T) {
+	a := Record{"x": 1.5}
+	b := a.Clone().(Record)
+	b["x"] = 9
+	b["y"] = 1
+	if a["x"] != 1.5 {
+		t.Fatal("Record.Clone shares the map")
+	}
+	if _, ok := a["y"]; ok {
+		t.Fatal("insert leaked into the original")
+	}
+}
+
+func TestCounterCloneIsCopy(t *testing.T) {
+	a := &Counter{V: 7}
+	b := a.Clone().(*Counter)
+	b.V = 8
+	if a.V != 7 {
+		t.Fatal("Counter.Clone aliases the original")
+	}
+}
+
+func TestCheckpointSurvivesStateMutation(t *testing.T) {
+	// The invariant Clone exists for: a checkpoint taken before a mutation
+	// must restore the pre-mutation value.
+	prog := NewBuilder().
+		BeginBlock("b", 1).
+		Work("mutate", func(c *Ctx) { c.State.(Ints)[0] = 42 }).
+		EndBlock("b", func(c *Ctx) bool { return true }).
+		MustBuild()
+	faults := NewFaultPlan(Fault{Proc: 0, PC: 2, Visit: 1, Kind: FaultLocal})
+	sys, err := New(Config{Faults: faults}, []Program{prog}, []State{Ints{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The fault hit after the mutation; the rollback restored 7, and the
+	// re-execution set 42 again.
+	if got := sys.procs[0].state.(Ints)[0]; got != 42 {
+		t.Fatalf("final = %d", got)
+	}
+	if sys.procs[0].stats.Rollbacks != 1 {
+		t.Fatal("no rollback happened")
+	}
+}

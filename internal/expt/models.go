@@ -1,0 +1,633 @@
+// Package expt regenerates every table and figure of the paper's evaluation:
+// Table 1 (E[X], E[L_i] for five parameter cases), Figure 5 (E[X] vs n),
+// Figure 6 (the density f_X(t)), the Section 3 synchronization-loss results,
+// the Section 4 PRP overhead results, the model graphs of Figures 2–4, and
+// the runtime history diagrams of Figures 1, 7 and 8. Each experiment
+// returns structured data plus a Format method that prints the same rows or
+// series the paper reports.
+package expt
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"recoveryblocks/internal/prpmodel"
+	"recoveryblocks/internal/rbmodel"
+	"recoveryblocks/internal/sim"
+	"recoveryblocks/internal/synch"
+)
+
+// Sizes controls the Monte Carlo effort of the experiments, so benchmarks
+// can run scaled-down versions of exactly the same code paths.
+type Sizes struct {
+	Table1Intervals int
+	Fig5Intervals   int
+	Fig6Intervals   int
+	SyncReps        int
+	PRPProbes       int
+	Seed            int64
+}
+
+// DefaultSizes is the publication-quality configuration.
+func DefaultSizes() Sizes {
+	return Sizes{
+		Table1Intervals: 200000,
+		Fig5Intervals:   50000,
+		Fig6Intervals:   200000,
+		SyncReps:        500000,
+		PRPProbes:       200000,
+		Seed:            1983, // year of the paper
+	}
+}
+
+// QuickSizes is a fast configuration for benchmarks and smoke tests.
+func QuickSizes() Sizes {
+	return Sizes{
+		Table1Intervals: 5000,
+		Fig5Intervals:   2000,
+		Fig6Intervals:   5000,
+		SyncReps:        20000,
+		PRPProbes:       10000,
+		Seed:            1983,
+	}
+}
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Row is one parameter case of Table 1.
+type Table1Row struct {
+	Name    string
+	Mu      [3]float64
+	Lambda  [3]float64 // (λ12, λ23, λ13), the paper's order
+	PaperEX float64
+	PaperEL [3]float64
+	ExactEX float64
+	ExactEL [3]float64
+	SimEX   float64
+	SimEXCI float64
+	SimEL   [3]float64
+	SplitEL [3]float64 // the paper's Y_d split-chain computation
+}
+
+// Table1Result reproduces Table 1.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 solves the five cases exactly (absorbing-chain solve and the Y_d
+// split chain) and re-estimates them with the discrete-event simulator.
+func Table1(sz Sizes) (*Table1Result, error) {
+	res := &Table1Result{}
+	for ci, c := range rbmodel.Table1Cases() {
+		m, err := rbmodel.NewAsync(c.Params)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := m.MeanX()
+		if err != nil {
+			return nil, err
+		}
+		wald, err := m.MeanLWald()
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Name:    c.Name,
+			Mu:      [3]float64{c.Params.Mu[0], c.Params.Mu[1], c.Params.Mu[2]},
+			Lambda:  [3]float64{c.Params.Lambda[0][1], c.Params.Lambda[1][2], c.Params.Lambda[0][2]},
+			PaperEX: c.PaperEX,
+			PaperEL: c.PaperEL,
+			ExactEX: ex,
+		}
+		copy(row.ExactEL[:], wald)
+		for t := 0; t < 3; t++ {
+			sc, err := rbmodel.NewSplitChain(c.Params, t)
+			if err != nil {
+				return nil, err
+			}
+			l, err := sc.MeanL()
+			if err != nil {
+				return nil, err
+			}
+			row.SplitEL[t] = l
+		}
+		sr, err := sim.SimulateAsync(c.Params, sim.AsyncOptions{
+			Intervals: sz.Table1Intervals,
+			Seed:      sz.Seed + int64(ci),
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.SimEX = sr.X.Mean()
+		row.SimEXCI = sr.X.CI95()
+		for t := 0; t < 3; t++ {
+			row.SimEL[t] = sr.L[t].Mean()
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the reproduction next to the paper's numbers.
+func (r *Table1Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — Mean values of X and L_i for constant rho = 2 (n = 3)\n")
+	b.WriteString("  exact  = absorbing-chain solution of the paper's own model\n")
+	b.WriteString("  split  = the paper's Y_d split-chain computation (Fig. 4)\n")
+	b.WriteString("  sim    = discrete-event simulation (95% CI on E[X])\n\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "case\t(mu1,mu2,mu3)\t(l12,l23,l13)\tE(X) paper\tE(X) exact\tE(X) sim\tE(L) paper\tE(L) exact\tE(L) split\tE(L) sim\tsum exact")
+	for _, row := range r.Rows {
+		sum := row.ExactEL[0] + row.ExactEL[1] + row.ExactEL[2]
+		fmt.Fprintf(w, "%s\t(%.1f,%.1f,%.1f)\t(%.1f,%.1f,%.1f)\t%.3f\t%.4f\t%.4f±%.4f\t%.3f,%.3f,%.3f\t%.3f,%.3f,%.3f\t%.3f,%.3f,%.3f\t%.3f,%.3f,%.3f\t%.4f\n",
+			row.Name,
+			row.Mu[0], row.Mu[1], row.Mu[2],
+			row.Lambda[0], row.Lambda[1], row.Lambda[2],
+			row.PaperEX, row.ExactEX, row.SimEX, row.SimEXCI,
+			row.PaperEL[0], row.PaperEL[1], row.PaperEL[2],
+			row.ExactEL[0], row.ExactEL[1], row.ExactEL[2],
+			row.SplitEL[0], row.SplitEL[1], row.SplitEL[2],
+			row.SimEL[0], row.SimEL[1], row.SimEL[2],
+			sum)
+	}
+	w.Flush()
+	b.WriteString("\nNotes: the paper's E(X) column is its own simulation estimate; our exact\n")
+	b.WriteString("solution of the identical chain is the reference. Our exact E(L_i) match the\n")
+	b.WriteString("paper's published E(L_i) to all printed digits in every case, except case 5's\n")
+	b.WriteString("E(L2)=3.111, a typo for 3.311 (the paper's own sum row 9.933 requires 3.311).\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// Fig5Point is E[X] at one (n, ρ).
+type Fig5Point struct {
+	N       int
+	Rho     float64
+	Lambda  float64 // per-pair rate implied by ρ with μ = 1
+	ExactEX float64 // full 2^n-state model (n ≤ exact cutoff), else NaN
+	LumpEX  float64 // symmetric lumped model
+	SimEX   float64 // DES estimate (0 when skipped)
+	SimCI   float64
+}
+
+// Fig5Result reproduces Figure 5: E[X] against the number of processes for
+// fixed ρ (μ_i = 1, λ_ij = ρ/(n−1) so that ρ = 2Σλ/Σμ stays constant).
+type Fig5Result struct {
+	Points    []Fig5Point
+	ExactUpTo int
+}
+
+// Figure5 sweeps n for each ρ. The full model is solved exactly up to
+// exactUpTo processes (state space 2^n+1); the lumped model covers every n;
+// the simulator cross-checks a subset.
+func Figure5(ns []int, rhos []float64, exactUpTo int, sz Sizes) (*Fig5Result, error) {
+	res := &Fig5Result{ExactUpTo: exactUpTo}
+	for _, rho := range rhos {
+		for _, n := range ns {
+			if n < 2 {
+				return nil, fmt.Errorf("expt: Figure5 needs n ≥ 2, got %d", n)
+			}
+			lambda := rho / float64(n-1)
+			pt := Fig5Point{N: n, Rho: rho, Lambda: lambda}
+			sym, err := rbmodel.NewSymmetric(n, 1, lambda)
+			if err != nil {
+				return nil, err
+			}
+			if pt.LumpEX, err = sym.MeanX(); err != nil {
+				return nil, err
+			}
+			if n <= exactUpTo {
+				full, err := rbmodel.NewAsync(rbmodel.Uniform(n, 1, lambda))
+				if err != nil {
+					return nil, err
+				}
+				if pt.ExactEX, err = full.MeanX(); err != nil {
+					return nil, err
+				}
+			}
+			if sz.Fig5Intervals > 0 && n <= exactUpTo {
+				sr, err := sim.SimulateAsync(rbmodel.Uniform(n, 1, lambda), sim.AsyncOptions{
+					Intervals: sz.Fig5Intervals, Seed: sz.Seed + int64(100*n),
+				})
+				if err != nil {
+					return nil, err
+				}
+				pt.SimEX = sr.X.Mean()
+				pt.SimCI = sr.X.CI95()
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the sweep as the Figure 5 series.
+func (r *Fig5Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 5 — Mean value of X vs number of processes n (mu_i = 1, lambda = rho/(n-1))\n\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "rho\tn\tlambda\tE(X) full exact\tE(X) lumped\tE(X) sim")
+	for _, p := range r.Points {
+		exact := "-"
+		if p.ExactEX != 0 {
+			exact = fmt.Sprintf("%.4f", p.ExactEX)
+		}
+		simv := "-"
+		if p.SimEX != 0 {
+			simv = fmt.Sprintf("%.4f±%.4f", p.SimEX, p.SimCI)
+		}
+		fmt.Fprintf(w, "%.2f\t%d\t%.4f\t%s\t%.4f\t%s\n", p.Rho, p.N, p.Lambda, exact, p.LumpEX, simv)
+	}
+	w.Flush()
+	b.WriteString("\nThe sharp growth of E[X] with n at fixed rho is the paper's headline\n")
+	b.WriteString("observation: recovery lines become rare as more processes must align.\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Fig6Series is the density curve of one parameter case.
+type Fig6Series struct {
+	Name    string
+	Times   []float64
+	Density []float64 // analytic f_X(t) by uniformization
+	SimDens []float64 // simulated histogram density at the same points
+	KS      float64   // KS distance between simulated samples and analytic CDF
+	KSCrit  float64
+	ExactEX float64
+}
+
+// Fig6Result reproduces Figure 6.
+type Fig6Result struct {
+	Series []Fig6Series
+}
+
+// Figure6 evaluates the density f_X(t) of the three Figure 6 parameter
+// cases on a grid over [0, tmax] and overlays a simulated histogram.
+func Figure6(points int, tmax float64, sz Sizes) (*Fig6Result, error) {
+	if points < 2 || tmax <= 0 {
+		return nil, fmt.Errorf("expt: bad Figure6 grid (%d points, tmax %v)", points, tmax)
+	}
+	res := &Fig6Result{}
+	for ci, c := range rbmodel.Fig6Cases() {
+		m, err := rbmodel.NewAsync(c.Params)
+		if err != nil {
+			return nil, err
+		}
+		times := make([]float64, points)
+		for i := range times {
+			times[i] = tmax * float64(i) / float64(points-1)
+		}
+		s := Fig6Series{Name: c.Name, Times: times, Density: m.DensityX(times)}
+		if s.ExactEX, err = m.MeanX(); err != nil {
+			return nil, err
+		}
+		sr, err := sim.SimulateAsync(c.Params, sim.AsyncOptions{
+			Intervals:   sz.Fig6Intervals,
+			Seed:        sz.Seed + int64(10*ci),
+			HistMax:     tmax,
+			HistBins:    points - 1,
+			KeepSamples: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dens := sr.Hist.Density()
+		s.SimDens = make([]float64, points)
+		for i := 0; i < points-1; i++ {
+			s.SimDens[i] = dens[i]
+		}
+		if s.KS, err = sr.KSAgainstModel(m); err != nil {
+			return nil, err
+		}
+		s.KSCrit = 1.358 / sqrtf(len(sr.Samples))
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+func sqrtf(n int) float64 {
+	x := float64(n)
+	if x <= 0 {
+		return 1
+	}
+	// Newton iterations are plenty for a display-only critical value.
+	g := x
+	for i := 0; i < 40; i++ {
+		g = (g + x/g) / 2
+	}
+	return g
+}
+
+// Format renders the density table and an ASCII plot per case.
+func (r *Fig6Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Figure 6 — Density function of X, f_x(t)\n\n")
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%s   E[X] = %.4f   KS(sim vs analytic) = %.4f (95%% crit %.4f)\n",
+			s.Name, s.ExactEX, s.KS, s.KSCrit)
+		w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "t\tf(t) analytic\tf(t) simulated")
+		step := len(s.Times) / 10
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(s.Times); i += step {
+			simv := "-"
+			if i < len(s.SimDens) {
+				simv = fmt.Sprintf("%.4f", s.SimDens[i])
+			}
+			fmt.Fprintf(w, "%.2f\t%.4f\t%s\n", s.Times[i], s.Density[i], simv)
+		}
+		w.Flush()
+		b.WriteString(asciiPlot(s.Times, s.Density, 52, 12))
+		b.WriteString("\n")
+	}
+	b.WriteString("The sharp peak at t -> 0+ equals the direct S_r -> S_r+1 rate (sum of mu_k),\n")
+	b.WriteString("exactly the feature the paper points out in Figure 6.\n")
+	return b.String()
+}
+
+// asciiPlot draws a crude y-vs-x line chart.
+func asciiPlot(xs, ys []float64, width, height int) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	maxY := 0.0
+	for _, y := range ys {
+		if y > maxY {
+			maxY = y
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i, y := range ys {
+		col := i * (width - 1) / (len(ys) - 1)
+		row := int((y / maxY) * float64(height-1))
+		if row > height-1 {
+			row = height - 1
+		}
+		grid[height-1-row][col] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "  f(t) up to %.3f\n", maxY)
+	for _, row := range grid {
+		b.WriteString("  |" + string(row) + "\n")
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "> t\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Section 3
+
+// SyncRow is one rate vector's synchronization cost.
+type SyncRow struct {
+	Mu      []float64
+	EZExact float64
+	EZInt   float64
+	CLExact float64
+	CLInt   float64
+	CLSim   float64
+	CLSimCI float64
+}
+
+// SyncGrowthRow shows the loss growth with n for identical processes.
+type SyncGrowthRow struct {
+	N  int
+	EZ float64
+	CL float64
+}
+
+// SyncResult reproduces the Section 3 analysis.
+type SyncResult struct {
+	Rows   []SyncRow
+	Growth []SyncGrowthRow
+}
+
+// Section3 evaluates the mean computation loss CL for the paper's rate
+// vectors via inclusion–exclusion, numeric integration of the paper's
+// formula, and Monte Carlo; plus the growth of CL with n for μ = 1.
+func Section3(sz Sizes) (*SyncResult, error) {
+	res := &SyncResult{}
+	for _, mu := range [][]float64{
+		{1, 1, 1},
+		{1.5, 1.0, 0.5},
+		{0.6, 0.45, 0.45},
+		{1, 1, 1, 1, 1},
+	} {
+		row := SyncRow{Mu: mu}
+		var err error
+		if row.EZExact, err = synch.MeanMax(mu); err != nil {
+			return nil, err
+		}
+		if row.EZInt, err = synch.MeanMaxIntegral(mu); err != nil {
+			return nil, err
+		}
+		if row.CLExact, err = synch.MeanLoss(mu); err != nil {
+			return nil, err
+		}
+		if row.CLInt, err = synch.MeanLossIntegral(mu); err != nil {
+			return nil, err
+		}
+		loss, _, err := synch.SimulateLoss(mu, sz.SyncReps, sz.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row.CLSim = loss.Mean()
+		row.CLSimCI = loss.CI95()
+		res.Rows = append(res.Rows, row)
+	}
+	for n := 2; n <= 16; n *= 2 {
+		mu := make([]float64, n)
+		for i := range mu {
+			mu[i] = 1
+		}
+		ez, err := synch.MeanMaxEqual(n, 1)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := synch.MeanLoss(mu)
+		if err != nil {
+			return nil, err
+		}
+		res.Growth = append(res.Growth, SyncGrowthRow{N: n, EZ: ez, CL: cl})
+	}
+	return res, nil
+}
+
+// Format renders the Section 3 tables.
+func (r *SyncResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Section 3 — Synchronized recovery blocks: mean computation loss\n")
+	b.WriteString("CL = n*E[Z] - sum(1/mu_i),  Z = max(y_1..y_n),  y_i ~ Exp(mu_i)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "mu\tE[Z] incl-excl\tE[Z] integral\tCL exact\tCL integral\tCL simulated")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%v\t%.4f\t%.4f\t%.4f\t%.4f\t%.4f±%.4f\n",
+			row.Mu, row.EZExact, row.EZInt, row.CLExact, row.CLInt, row.CLSim, row.CLSimCI)
+	}
+	w.Flush()
+	b.WriteString("\nGrowth with n (iid mu = 1): E[Z] = H_n, CL = n(H_n - 1)\n")
+	w = tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "n\tE[Z]\tCL per synchronization")
+	for _, g := range r.Growth {
+		fmt.Fprintf(w, "%d\t%.4f\t%.4f\n", g.N, g.EZ, g.CL)
+	}
+	w.Flush()
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Section 4
+
+// PRPRow is the Section 4 trade-off at one system size.
+type PRPRow struct {
+	N                 int
+	TimeOverheadPerRP float64
+	LiveStates        int
+	Bound             float64 // E[sup y_i] rollback-distance bound
+	SimLocal          float64 // simulated local-error distance
+	SimPropagated     float64 // simulated propagated-error distance (Section 4 algorithm)
+	SimAsync          float64 // simulated asynchronous rollback distance (same error stream)
+	AnalyticAsyncAge  float64 // E[X^2] / 2E[X] renewal age from the exact chain
+}
+
+// PRPResult reproduces the Section 4 analysis.
+type PRPResult struct {
+	SaveCost float64
+	Lambda   float64
+	Rows     []PRPRow
+}
+
+// Section4 contrasts PRP overhead and bounded rollback against the
+// asynchronous strategy's unbounded rollback, for μ = 1 and the given
+// per-pair interaction rate.
+func Section4(ns []int, saveCost, lambda float64, sz Sizes) (*PRPResult, error) {
+	res := &PRPResult{SaveCost: saveCost, Lambda: lambda}
+	for _, n := range ns {
+		mu := make([]float64, n)
+		for i := range mu {
+			mu[i] = 1
+		}
+		cfg := prpmodel.Config{Mu: mu, SaveCost: saveCost}
+		bound, err := cfg.RollbackDistanceBound()
+		if err != nil {
+			return nil, err
+		}
+		row := PRPRow{
+			N:                 n,
+			TimeOverheadPerRP: cfg.TimeOverheadPerRP(),
+			LiveStates:        cfg.LiveStates(),
+			Bound:             bound,
+		}
+		p := rbmodel.Uniform(n, 1, lambda)
+		if n <= rbmodel.MaxExactProcesses {
+			m, err := rbmodel.NewAsync(p)
+			if err != nil {
+				return nil, err
+			}
+			m1, m2, err := m.MomentsX()
+			if err != nil {
+				return nil, err
+			}
+			row.AnalyticAsyncAge = m2 / (2 * m1)
+		}
+		sr, err := sim.SimulatePRP(p, sim.PRPOptions{
+			Probes: sz.PRPProbes,
+			Seed:   sz.Seed + int64(n),
+			Warmup: 100,
+			PLocal: 0.5,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row.SimLocal = sr.LocalDistance.Mean()
+		row.SimPropagated = sr.PropagatedDistance.Mean()
+		row.SimAsync = sr.AsyncDistance.Mean()
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Format renders the Section 4 trade-off table.
+func (r *PRPResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 4 — Pseudo recovery points (t_r = %.3f, lambda = %.2f, mu = 1)\n", r.SaveCost, r.Lambda)
+	b.WriteString("overhead per RP = (n-1)*t_r;  live storage after purging ~ n^2 states;\n")
+	b.WriteString("rollback distance bounded by E[sup y_i] (met with equality for Poisson RPs)\n\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "n\t(n-1)t_r\tlive states\tbound E[sup y]\tsim local\tsim propagated\tsim async\tasync age exact")
+	for _, row := range r.Rows {
+		age := "-"
+		if row.AnalyticAsyncAge > 0 {
+			age = fmt.Sprintf("%.4f", row.AnalyticAsyncAge)
+		}
+		fmt.Fprintf(w, "%d\t%.3f\t%d\t%.4f\t%.4f\t%.4f\t%.4f\t%s\n",
+			row.N, row.TimeOverheadPerRP, row.LiveStates, row.Bound,
+			row.SimLocal, row.SimPropagated, row.SimAsync, age)
+	}
+	w.Flush()
+	b.WriteString("\nPRP keeps the rollback distance at the bound while the asynchronous\n")
+	b.WriteString("distance (age of the recovery-line renewal process) grows with n and lambda —\n")
+	b.WriteString("the paper's case for implanting PRPs when interactions are frequent.\n")
+	b.WriteString("Once E[X] exceeds the simulated horizon (large n at this lambda), recovery\n")
+	b.WriteString("lines stop forming within the run and the simulated async distance is\n")
+	b.WriteString("horizon-limited: read it as a lower bound; the exact renewal age column\n")
+	b.WriteString("shows the true scale of unbounded rollback.\n")
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figures 2-4
+
+// GraphsResult packages the machine-readable model structure of Figures 2-4.
+type GraphsResult struct {
+	FullDOT      string // Figure 2: CTMC for 3 processes
+	FullStates   int
+	SymmetricDOT string // Figure 3: lumped chain
+	SymStates    int
+	SplitDOT     string // Figure 4: split chain Y_d for P1
+	SplitStates  int
+}
+
+// ModelGraphs builds the three model graphs for the canonical n = 3,
+// μ = λ = 1 instance drawn in the paper.
+func ModelGraphs() (*GraphsResult, error) {
+	p := rbmodel.Uniform(3, 1, 1)
+	full, err := rbmodel.NewAsync(p)
+	if err != nil {
+		return nil, err
+	}
+	sym, err := rbmodel.NewSymmetric(3, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	split, err := rbmodel.NewSplitChain(p, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &GraphsResult{
+		FullDOT:      full.DOT(),
+		FullStates:   full.NumStates(),
+		SymmetricDOT: sym.DOT(),
+		SymStates:    3 + 2,
+		SplitDOT:     split.DOT(),
+		SplitStates:  split.NumStates(),
+	}, nil
+}
+
+// Format summarizes the graphs (full DOT omitted; retrievable individually).
+func (r *GraphsResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Figures 2-4 — model structure (render the DOT with graphviz)\n\n")
+	fmt.Fprintf(&b, "Figure 2: full CTMC, %d states (2^3 + 1)\n", r.FullStates)
+	fmt.Fprintf(&b, "Figure 3: lumped chain, %d states (n + 2)\n", r.SymStates)
+	fmt.Fprintf(&b, "Figure 4: split discrete chain Y_d for P1, %d states\n\n", r.SplitStates)
+	b.WriteString(r.SymmetricDOT)
+	return b.String()
+}

@@ -1,0 +1,154 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// Markov-chain analyses: row-major matrices, LU factorization with partial
+// pivoting, and the handful of vector operations the solvers need.
+//
+// The state spaces in this reproduction are modest (2^n+1 states for n
+// concurrent processes, with n ≤ 14 in the full model), so a straightforward
+// dense implementation is both sufficient and easy to audit against the
+// paper's equations.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i,j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i,j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add increments element (i,j) by v.
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Scale multiplies every element by s, in place, and returns m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= s
+	}
+	return m
+}
+
+// AddMatrix adds other into m element-wise, in place, and returns m.
+// It panics on shape mismatch.
+func (m *Matrix) AddMatrix(other *Matrix) *Matrix {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic("linalg: AddMatrix shape mismatch")
+	}
+	for i := range m.Data {
+		m.Data[i] += other.Data[i]
+	}
+	return m
+}
+
+// MulVec computes y = m·x. It panics if len(x) != m.Cols.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("linalg: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// VecMul computes y = x·m (row vector times matrix).
+// It panics if len(x) != m.Rows.
+func (m *Matrix) VecMul(x []float64) []float64 {
+	if len(x) != m.Rows {
+		panic("linalg: VecMul dimension mismatch")
+	}
+	y := make([]float64, m.Cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+	return y
+}
+
+// Mul returns the matrix product m·other.
+func (m *Matrix) Mul(other *Matrix) *Matrix {
+	if m.Cols != other.Rows {
+		panic("linalg: Mul dimension mismatch")
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			rowK := other.Data[k*other.Cols : (k+1)*other.Cols]
+			outRow := out.Data[i*out.Cols : (i+1)*out.Cols]
+			for j, v := range rowK {
+				outRow[j] += a * v
+			}
+		}
+	}
+	return out
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Matrix) MaxAbs() float64 {
+	max := 0.0
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := ""
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			s += fmt.Sprintf("%10.4g ", m.At(i, j))
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,283 @@
+// Package markov implements the generic continuous- and discrete-time
+// Markov-chain machinery behind the paper's analysis: absorbing-chain
+// absorption-time moments (E[X] of Section 2.3), state occupancies, transient
+// distributions via uniformization (the Chapman–Kolmogorov solution used for
+// the density f_X(t)), and discrete-chain expected visit counts (the Y_d
+// construction of Figure 4).
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"recoveryblocks/internal/linalg"
+)
+
+// Entry is one outgoing transition of a sparse chain row.
+type Entry struct {
+	To   int
+	Rate float64 // rate for CTMC, probability for DTMC
+}
+
+// CTMC is a finite continuous-time Markov chain stored sparsely.
+// Self-rates are not stored; the diagonal of the generator is implied by the
+// row sums.
+type CTMC struct {
+	n         int
+	rows      [][]Entry
+	absorbing []bool
+}
+
+// NewCTMC returns an empty chain on n states.
+func NewCTMC(n int) *CTMC {
+	if n <= 0 {
+		panic("markov: CTMC needs at least one state")
+	}
+	return &CTMC{n: n, rows: make([][]Entry, n), absorbing: make([]bool, n)}
+}
+
+// N returns the number of states.
+func (c *CTMC) N() int { return c.n }
+
+// AddRate adds an exponential transition from→to with the given rate.
+// Multiple calls accumulate. Rates must be nonnegative; self-transitions and
+// transitions out of absorbing states are rejected.
+func (c *CTMC) AddRate(from, to int, rate float64) {
+	switch {
+	case rate < 0:
+		panic("markov: negative rate")
+	case rate == 0:
+		return
+	case from == to:
+		panic("markov: self-transition in CTMC")
+	case c.absorbing[from]:
+		panic("markov: transition out of an absorbing state")
+	}
+	for i := range c.rows[from] {
+		if c.rows[from][i].To == to {
+			c.rows[from][i].Rate += rate
+			return
+		}
+	}
+	c.rows[from] = append(c.rows[from], Entry{To: to, Rate: rate})
+}
+
+// SetAbsorbing marks a state absorbing. Any previously added transitions out
+// of it are discarded.
+func (c *CTMC) SetAbsorbing(state int) {
+	c.absorbing[state] = true
+	c.rows[state] = nil
+}
+
+// IsAbsorbing reports whether state is absorbing.
+func (c *CTMC) IsAbsorbing(state int) bool { return c.absorbing[state] }
+
+// Transitions returns the outgoing transitions of state (shared slice; do not
+// modify).
+func (c *CTMC) Transitions(state int) []Entry { return c.rows[state] }
+
+// OutRate returns the total departure rate of state.
+func (c *CTMC) OutRate(state int) float64 {
+	s := 0.0
+	for _, e := range c.rows[state] {
+		s += e.Rate
+	}
+	return s
+}
+
+// MaxOutRate returns the largest departure rate over all states — the
+// smallest admissible uniformization constant.
+func (c *CTMC) MaxOutRate() float64 {
+	m := 0.0
+	for u := 0; u < c.n; u++ {
+		if r := c.OutRate(u); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// AbsorbRate returns the total rate from state directly into absorbing
+// states.
+func (c *CTMC) AbsorbRate(state int) float64 {
+	s := 0.0
+	for _, e := range c.rows[state] {
+		if c.absorbing[e.To] {
+			s += e.Rate
+		}
+	}
+	return s
+}
+
+// Generator returns the dense generator matrix Q (diagonal = −row sum).
+func (c *CTMC) Generator() *linalg.Matrix {
+	q := linalg.NewMatrix(c.n, c.n)
+	for u := 0; u < c.n; u++ {
+		for _, e := range c.rows[u] {
+			q.Add(u, e.To, e.Rate)
+			q.Add(u, u, -e.Rate)
+		}
+	}
+	return q
+}
+
+// transientIndex maps transient states to compact indices; absorbing states
+// map to -1.
+func (c *CTMC) transientIndex() ([]int, []int) {
+	idx := make([]int, c.n)
+	var order []int
+	for u := 0; u < c.n; u++ {
+		if c.absorbing[u] {
+			idx[u] = -1
+			continue
+		}
+		idx[u] = len(order)
+		order = append(order, u)
+	}
+	return idx, order
+}
+
+// AbsorptionMoments returns the first and second moments of the absorption
+// time from the given start state, by solving Q_T·m1 = −1 and Q_T·m2 = −2·m1
+// on the transient generator. It fails if some transient state cannot reach
+// an absorbing state (singular system).
+func (c *CTMC) AbsorptionMoments(start int) (m1, m2 float64, err error) {
+	if c.absorbing[start] {
+		return 0, 0, nil
+	}
+	idx, order := c.transientIndex()
+	nt := len(order)
+	q := linalg.NewMatrix(nt, nt)
+	for k, u := range order {
+		for _, e := range c.rows[u] {
+			q.Add(k, k, -e.Rate)
+			if j := idx[e.To]; j >= 0 {
+				q.Add(k, j, e.Rate)
+			}
+		}
+	}
+	f, err := linalg.Factor(q)
+	if err != nil {
+		return 0, 0, fmt.Errorf("markov: absorption unreachable from some state: %w", err)
+	}
+	rhs := make([]float64, nt)
+	for i := range rhs {
+		rhs[i] = -1
+	}
+	h, err := f.Solve(rhs)
+	if err != nil {
+		return 0, 0, err
+	}
+	for i := range rhs {
+		rhs[i] = -2 * h[i]
+	}
+	h2, err := f.Solve(rhs)
+	if err != nil {
+		return 0, 0, err
+	}
+	k := idx[start]
+	return h[k], h2[k], nil
+}
+
+// MeanAbsorptionTime returns E[time to absorption] from start.
+func (c *CTMC) MeanAbsorptionTime(start int) (float64, error) {
+	m1, _, err := c.AbsorptionMoments(start)
+	return m1, err
+}
+
+// MeanAbsorptionTimeIterative computes the same expectation by Gauss–Seidel
+// sweeps on h_u = (1 + Σ_v q_uv·h_v)/q_u, avoiding the dense factorization.
+// Used for state spaces too large for LU, and as an independent check of the
+// direct solver.
+func (c *CTMC) MeanAbsorptionTimeIterative(start int, tol float64, maxIter int) (float64, error) {
+	if c.absorbing[start] {
+		return 0, nil
+	}
+	h := make([]float64, c.n)
+	for iter := 0; iter < maxIter; iter++ {
+		delta := 0.0
+		for u := 0; u < c.n; u++ {
+			if c.absorbing[u] {
+				continue
+			}
+			out := 0.0
+			acc := 1.0
+			for _, e := range c.rows[u] {
+				out += e.Rate
+				if !c.absorbing[e.To] {
+					acc += e.Rate * h[e.To]
+				}
+			}
+			if out == 0 {
+				return 0, errors.New("markov: transient state with no exits")
+			}
+			nv := acc / out
+			if d := math.Abs(nv - h[u]); d > delta {
+				delta = d
+			}
+			h[u] = nv
+		}
+		if delta < tol {
+			return h[start], nil
+		}
+	}
+	return 0, errors.New("markov: Gauss–Seidel did not converge")
+}
+
+// ExpectedOccupancy returns, for each state, the expected total time spent in
+// it before absorption when starting from start (0 for absorbing states).
+// It solves oᵀ·Q_T = −e_startᵀ.
+func (c *CTMC) ExpectedOccupancy(start int) ([]float64, error) {
+	occ := make([]float64, c.n)
+	if c.absorbing[start] {
+		return occ, nil
+	}
+	idx, order := c.transientIndex()
+	nt := len(order)
+	// Build the transpose of Q_T directly so a single LU solve suffices.
+	qt := linalg.NewMatrix(nt, nt)
+	for k, u := range order {
+		for _, e := range c.rows[u] {
+			qt.Add(k, k, -e.Rate)
+			if j := idx[e.To]; j >= 0 {
+				qt.Add(j, k, e.Rate)
+			}
+		}
+	}
+	rhs := make([]float64, nt)
+	rhs[idx[start]] = -1
+	o, err := linalg.SolveLinear(qt, rhs)
+	if err != nil {
+		return nil, err
+	}
+	for k, u := range order {
+		occ[u] = o[k]
+	}
+	return occ, nil
+}
+
+// Uniformized returns the uniformized jump chain P = I + Q/gamma. gamma must
+// be at least the maximum departure rate. Absorbing states stay absorbing.
+func (c *CTMC) Uniformized(gamma float64) *DTMC {
+	if gamma < c.MaxOutRate() {
+		panic("markov: uniformization constant below max out-rate")
+	}
+	d := NewDTMC(c.n)
+	for u := 0; u < c.n; u++ {
+		if c.absorbing[u] {
+			d.SetAbsorbing(u)
+			continue
+		}
+		stay := 1.0
+		for _, e := range c.rows[u] {
+			p := e.Rate / gamma
+			d.AddProb(u, e.To, p)
+			stay -= p
+		}
+		if stay > 0 {
+			d.AddProb(u, u, stay)
+		}
+	}
+	return d
+}

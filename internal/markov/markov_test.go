@@ -1,0 +1,416 @@
+package markov
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"recoveryblocks/internal/ode"
+)
+
+// twoStateChain: 0 --(rate r)--> 1 (absorbing). Absorption time ~ Exp(r).
+func twoStateChain(r float64) *CTMC {
+	c := NewCTMC(2)
+	c.AddRate(0, 1, r)
+	c.SetAbsorbing(1)
+	return c
+}
+
+func TestExponentialAbsorption(t *testing.T) {
+	for _, r := range []float64{0.5, 1, 4} {
+		c := twoStateChain(r)
+		m1, m2, err := c.AbsorptionMoments(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m1-1/r) > 1e-12 {
+			t.Fatalf("E[T] = %v, want %v", m1, 1/r)
+		}
+		if math.Abs(m2-2/(r*r)) > 1e-10 {
+			t.Fatalf("E[T²] = %v, want %v", m2, 2/(r*r))
+		}
+	}
+}
+
+func TestErlangAbsorption(t *testing.T) {
+	// 0→1→2→3 each at rate r: absorption time is Erlang(3, r).
+	r := 2.0
+	c := NewCTMC(4)
+	c.AddRate(0, 1, r)
+	c.AddRate(1, 2, r)
+	c.AddRate(2, 3, r)
+	c.SetAbsorbing(3)
+	m1, m2, err := c.AbsorptionMoments(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m1-3/r) > 1e-12 {
+		t.Fatalf("Erlang mean = %v", m1)
+	}
+	want2 := 3/(r*r) + 9/(r*r) // Var = k/r², E[T²] = Var + mean²
+	if math.Abs(m2-want2) > 1e-10 {
+		t.Fatalf("Erlang second moment = %v, want %v", m2, want2)
+	}
+}
+
+func TestCompetingRisks(t *testing.T) {
+	// 0 → 1 at rate a, 0 → 2 at rate b, both absorbing: E[T] = 1/(a+b) and
+	// absorption splits proportionally.
+	a, b := 1.5, 0.5
+	c := NewCTMC(3)
+	c.AddRate(0, 1, a)
+	c.AddRate(0, 2, b)
+	c.SetAbsorbing(1)
+	c.SetAbsorbing(2)
+	m1, err := c.MeanAbsorptionTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m1-1/(a+b)) > 1e-12 {
+		t.Fatalf("competing risks mean = %v", m1)
+	}
+	d := c.Uniformized(c.MaxOutRate())
+	probs, err := d.AbsorptionProbabilities(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(probs[1]-a/(a+b)) > 1e-12 || math.Abs(probs[2]-b/(a+b)) > 1e-12 {
+		t.Fatalf("absorption split = %v", probs)
+	}
+}
+
+func TestIterativeMatchesDirect(t *testing.T) {
+	// Birth–death chain with absorbing upper end.
+	c := NewCTMC(6)
+	for i := 0; i < 5; i++ {
+		c.AddRate(i, i+1, 1.0+float64(i))
+		if i > 0 {
+			c.AddRate(i, i-1, 0.7)
+		}
+	}
+	c.SetAbsorbing(5)
+	direct, err := c.MeanAbsorptionTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iter, err := c.MeanAbsorptionTimeIterative(0, 1e-12, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(direct-iter) > 1e-8 {
+		t.Fatalf("direct %v vs iterative %v", direct, iter)
+	}
+}
+
+func TestOccupancySumsToMeanAbsorption(t *testing.T) {
+	c := NewCTMC(5)
+	c.AddRate(0, 1, 2)
+	c.AddRate(1, 2, 1)
+	c.AddRate(1, 0, 0.5)
+	c.AddRate(2, 3, 3)
+	c.AddRate(2, 1, 0.25)
+	c.AddRate(3, 4, 1)
+	c.SetAbsorbing(4)
+	occ, err := c.ExpectedOccupancy(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, o := range occ {
+		sum += o
+	}
+	m1, err := c.MeanAbsorptionTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum-m1) > 1e-10 {
+		t.Fatalf("Σoccupancy = %v, E[T] = %v", sum, m1)
+	}
+	if occ[4] != 0 {
+		t.Fatal("absorbing state has nonzero occupancy")
+	}
+}
+
+func TestTransientDistributionTwoState(t *testing.T) {
+	// π_0(t) = e^{-rt} exactly.
+	r := 1.3
+	c := twoStateChain(r)
+	for _, tt := range []float64{0, 0.1, 0.5, 1, 3} {
+		pi := c.TransientDistribution([]float64{1, 0}, tt, 1e-12)
+		want := math.Exp(-r * tt)
+		if math.Abs(pi[0]-want) > 1e-9 {
+			t.Fatalf("π_0(%v) = %v, want %v", tt, pi[0], want)
+		}
+		if math.Abs(pi[0]+pi[1]-1) > 1e-9 {
+			t.Fatalf("mass not conserved at t=%v", tt)
+		}
+	}
+}
+
+func TestTransientDistributionMatchesODE(t *testing.T) {
+	// Cross-validate uniformization against direct RK4 on dπ/dt = πQ.
+	c := NewCTMC(4)
+	c.AddRate(0, 1, 1.1)
+	c.AddRate(1, 0, 0.4)
+	c.AddRate(1, 2, 2.0)
+	c.AddRate(2, 3, 0.8)
+	c.AddRate(2, 0, 0.3)
+	c.SetAbsorbing(3)
+	q := c.Generator()
+	f := func(_ float64, y, dst []float64) {
+		res := q.VecMul(y)
+		copy(dst, res)
+	}
+	pi0 := []float64{1, 0, 0, 0}
+	for _, tt := range []float64{0.3, 1.0, 2.5} {
+		uni := c.TransientDistribution(pi0, tt, 1e-12)
+		rk := ode.RK4(f, pi0, 0, tt, 4000)
+		for i := range uni {
+			if math.Abs(uni[i]-rk[i]) > 1e-7 {
+				t.Fatalf("t=%v state %d: uniformization %v vs RK4 %v", tt, i, uni[i], rk[i])
+			}
+		}
+	}
+}
+
+func TestAbsorptionDensityExponential(t *testing.T) {
+	r := 2.0
+	c := twoStateChain(r)
+	times := []float64{0, 0.25, 0.5, 1, 2}
+	f := c.AbsorptionDensity([]float64{1, 0}, times, 1e-12)
+	for i, tt := range times {
+		want := r * math.Exp(-r*tt)
+		if math.Abs(f[i]-want) > 1e-9 {
+			t.Fatalf("f(%v) = %v, want %v", tt, f[i], want)
+		}
+	}
+}
+
+func TestAbsorptionDensityIntegratesToOne(t *testing.T) {
+	c := NewCTMC(4)
+	c.AddRate(0, 1, 1)
+	c.AddRate(1, 2, 2)
+	c.AddRate(1, 0, 0.5)
+	c.AddRate(2, 3, 1.5)
+	c.SetAbsorbing(3)
+	// Trapezoid over a long horizon.
+	const dt = 0.01
+	times := make([]float64, 3001)
+	for i := range times {
+		times[i] = float64(i) * dt
+	}
+	f := c.AbsorptionDensity([]float64{1, 0, 0, 0}, times, 1e-12)
+	integral := 0.0
+	for i := 1; i < len(times); i++ {
+		integral += (f[i] + f[i-1]) / 2 * dt
+	}
+	if math.Abs(integral-1) > 1e-3 {
+		t.Fatalf("∫f = %v, want 1", integral)
+	}
+}
+
+func TestAbsorptionCDFMatchesDensityIntegral(t *testing.T) {
+	c := NewCTMC(3)
+	c.AddRate(0, 1, 1)
+	c.AddRate(1, 2, 2)
+	c.SetAbsorbing(2)
+	pi0 := []float64{1, 0, 0}
+	const dt = 0.005
+	times := make([]float64, 601)
+	for i := range times {
+		times[i] = float64(i) * dt
+	}
+	f := c.AbsorptionDensity(pi0, times, 1e-12)
+	cdf := c.AbsorptionCDF(pi0, times, 1e-12)
+	integral := 0.0
+	for i := 1; i < len(times); i++ {
+		integral += (f[i] + f[i-1]) / 2 * dt
+		if math.Abs(integral-cdf[i]) > 1e-4 {
+			t.Fatalf("∫f(0..%v)=%v vs CDF %v", times[i], integral, cdf[i])
+		}
+	}
+}
+
+func TestMeanFromDensityMatchesLinearSolve(t *testing.T) {
+	// E[T] = ∫ t f(t) dt must match the LU-based moment.
+	c := NewCTMC(4)
+	c.AddRate(0, 1, 2)
+	c.AddRate(1, 2, 1)
+	c.AddRate(2, 0, 0.4)
+	c.AddRate(2, 3, 2.2)
+	c.SetAbsorbing(3)
+	m1, err := c.MeanAbsorptionTime(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.01
+	times := make([]float64, 4001)
+	for i := range times {
+		times[i] = float64(i) * dt
+	}
+	f := c.AbsorptionDensity([]float64{1, 0, 0, 0}, times, 1e-12)
+	integral := 0.0
+	for i := 1; i < len(times); i++ {
+		integral += (times[i]*f[i] + times[i-1]*f[i-1]) / 2 * dt
+	}
+	if math.Abs(integral-m1) > 5e-3*m1 {
+		t.Fatalf("∫t·f = %v vs E[T] = %v", integral, m1)
+	}
+}
+
+func TestUniformizedRowsSumToOne(t *testing.T) {
+	c := NewCTMC(5)
+	c.AddRate(0, 1, 3)
+	c.AddRate(1, 2, 0.2)
+	c.AddRate(2, 3, 1)
+	c.AddRate(3, 4, 0.5)
+	c.AddRate(3, 0, 0.5)
+	c.SetAbsorbing(4)
+	d := c.Uniformized(c.MaxOutRate() * 1.5)
+	if err := d.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDTMCExpectedVisitsGeometric(t *testing.T) {
+	// State 0 self-loops with prob p, absorbs with prob 1-p:
+	// E[visits to 0] = 1/(1-p).
+	p := 0.75
+	d := NewDTMC(2)
+	d.AddProb(0, 0, p)
+	d.AddProb(0, 1, 1-p)
+	d.SetAbsorbing(1)
+	v, err := d.ExpectedVisits(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v[0]-4) > 1e-12 {
+		t.Fatalf("visits = %v, want 4", v[0])
+	}
+}
+
+func TestDTMCGamblersRuin(t *testing.T) {
+	// Symmetric walk on 0..4 with absorbing ends; from 2 the ruin
+	// probabilities are 1/2 each and expected visits are known.
+	d := NewDTMC(5)
+	for i := 1; i <= 3; i++ {
+		d.AddProb(i, i-1, 0.5)
+		d.AddProb(i, i+1, 0.5)
+	}
+	d.SetAbsorbing(0)
+	d.SetAbsorbing(4)
+	probs, err := d.AbsorptionProbabilities(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(probs[0]-0.5) > 1e-12 || math.Abs(probs[4]-0.5) > 1e-12 {
+		t.Fatalf("ruin probabilities %v", probs)
+	}
+	v, err := d.ExpectedVisits(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For the symmetric walk from the middle of 0..4: N(2,·) = (1, 2, 1).
+	if math.Abs(v[1]-1) > 1e-12 || math.Abs(v[2]-2) > 1e-12 || math.Abs(v[3]-1) > 1e-12 {
+		t.Fatalf("visits = %v", v)
+	}
+}
+
+func TestExpectedTransitionCount(t *testing.T) {
+	p := 0.6
+	d := NewDTMC(3)
+	d.AddProb(0, 1, p)
+	d.AddProb(0, 2, 1-p)
+	d.AddProb(1, 0, 1)
+	d.SetAbsorbing(2)
+	v, err := d.ExpectedVisits(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Visits to 0 form a geometric with success prob 1-p ⇒ E = 1/(1-p).
+	want0 := 1 / (1 - p)
+	if math.Abs(v[0]-want0) > 1e-12 {
+		t.Fatalf("visits(0) = %v", v[0])
+	}
+	if got := d.ExpectedTransitionCount(v, 0, 1); math.Abs(got-p*want0) > 1e-12 {
+		t.Fatalf("E[0→1 traversals] = %v", got)
+	}
+}
+
+func TestPoissonWeightsSumToOne(t *testing.T) {
+	for _, lt := range []float64{0.001, 0.5, 5, 50, 500} {
+		w := poissonWeights(lt, 1e-12)
+		sum := 0.0
+		for _, v := range w {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("Poisson weights for Λt=%v sum to %v", lt, sum)
+		}
+	}
+}
+
+func TestGeneratorRowSumsZeroProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		// Random small chain; generator rows must sum to ~0.
+		r := seed
+		next := func() float64 {
+			r = r*6364136223846793005 + 1442695040888963407
+			return float64((r>>33)&0xffff) / 65536.0
+		}
+		c := NewCTMC(6)
+		for u := 0; u < 5; u++ {
+			for v := 0; v < 6; v++ {
+				if u != v {
+					c.AddRate(u, v, next())
+				}
+			}
+		}
+		c.SetAbsorbing(5)
+		q := c.Generator()
+		for u := 0; u < 6; u++ {
+			s := 0.0
+			for v := 0; v < 6; v++ {
+				s += q.At(u, v)
+			}
+			if math.Abs(s) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddRateAccumulates(t *testing.T) {
+	c := NewCTMC(2)
+	c.AddRate(0, 1, 1)
+	c.AddRate(0, 1, 2)
+	if c.OutRate(0) != 3 {
+		t.Fatalf("accumulated rate = %v", c.OutRate(0))
+	}
+	if len(c.Transitions(0)) != 1 {
+		t.Fatal("duplicate entries not merged")
+	}
+}
+
+func TestAbsorbingGuards(t *testing.T) {
+	c := NewCTMC(2)
+	c.SetAbsorbing(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic adding transition out of absorbing state")
+		}
+	}()
+	c.AddRate(1, 0, 1)
+}
+
+func TestAbsorptionMomentsFromAbsorbingStart(t *testing.T) {
+	c := twoStateChain(1)
+	m1, m2, err := c.AbsorptionMoments(1)
+	if err != nil || m1 != 0 || m2 != 0 {
+		t.Fatalf("absorbing start: %v %v %v", m1, m2, err)
+	}
+}

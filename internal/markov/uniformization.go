@@ -1,0 +1,120 @@
+package markov
+
+import "math"
+
+// poissonWeights returns the Poisson(Λt) probabilities w_k for k = 0..K,
+// where K is chosen so that the truncated tail mass is below eps. Weights are
+// computed in log space to stay stable for large Λt.
+func poissonWeights(lambdaT, eps float64) []float64 {
+	if lambdaT < 0 {
+		panic("markov: negative uniformization horizon")
+	}
+	if lambdaT == 0 {
+		return []float64{1}
+	}
+	// Upper bound on the needed K: mean + 10 std deviations, at least 30.
+	bound := int(lambdaT + 10*math.Sqrt(lambdaT) + 30)
+	w := make([]float64, 0, bound+1)
+	sum := 0.0
+	for k := 0; k <= bound; k++ {
+		lg, _ := math.Lgamma(float64(k + 1))
+		logw := -lambdaT + float64(k)*math.Log(lambdaT) - lg
+		wk := math.Exp(logw)
+		w = append(w, wk)
+		sum += wk
+		if k > int(lambdaT) && 1-sum < eps {
+			break
+		}
+	}
+	return w
+}
+
+// TransientDistribution computes π(t) = π(0)·e^{Qt} by uniformization:
+// π(t) = Σ_k Pois(Λt; k)·π(0)·Pᵏ with P = I + Q/Λ. eps bounds the truncation
+// error in total variation.
+func (c *CTMC) TransientDistribution(pi0 []float64, t, eps float64) []float64 {
+	if len(pi0) != c.n {
+		panic("markov: initial distribution length mismatch")
+	}
+	if t == 0 {
+		return append([]float64(nil), pi0...)
+	}
+	gamma := c.MaxOutRate()
+	if gamma == 0 { // no transitions anywhere
+		return append([]float64(nil), pi0...)
+	}
+	p := c.Uniformized(gamma)
+	w := poissonWeights(gamma*t, eps)
+	cur := append([]float64(nil), pi0...)
+	out := make([]float64, c.n)
+	for k, wk := range w {
+		if k > 0 {
+			cur = p.StepDistribution(cur)
+		}
+		if wk == 0 {
+			continue
+		}
+		for i, v := range cur {
+			out[i] += wk * v
+		}
+	}
+	return out
+}
+
+// TransientTrajectory evaluates π(t) at each requested time (nondecreasing,
+// starting ≥ 0), stepping incrementally so the cost is proportional to the
+// total horizon rather than the number of sample points squared.
+func (c *CTMC) TransientTrajectory(pi0 []float64, times []float64, eps float64) [][]float64 {
+	out := make([][]float64, len(times))
+	cur := append([]float64(nil), pi0...)
+	last := 0.0
+	for i, t := range times {
+		if t < last {
+			panic("markov: TransientTrajectory times must be nondecreasing")
+		}
+		if t > last {
+			cur = c.TransientDistribution(cur, t-last, eps)
+			last = t
+		}
+		out[i] = append([]float64(nil), cur...)
+	}
+	return out
+}
+
+// AbsorptionDensity evaluates the density of the absorption time at the given
+// times: f(t) = Σ_u π_u(t)·(rate from u into absorbing states).
+func (c *CTMC) AbsorptionDensity(pi0 []float64, times []float64, eps float64) []float64 {
+	absorb := make([]float64, c.n)
+	for u := 0; u < c.n; u++ {
+		if !c.absorbing[u] {
+			absorb[u] = c.AbsorbRate(u)
+		}
+	}
+	traj := c.TransientTrajectory(pi0, times, eps)
+	f := make([]float64, len(times))
+	for i, pi := range traj {
+		s := 0.0
+		for u, p := range pi {
+			s += p * absorb[u]
+		}
+		f[i] = s
+	}
+	return f
+}
+
+// AbsorptionCDF evaluates P(absorbed by t) at the given times as the total
+// probability mass sitting in absorbing states.
+func (c *CTMC) AbsorptionCDF(pi0 []float64, times []float64, eps float64) []float64 {
+	traj := c.TransientTrajectory(pi0, times, eps)
+	out := make([]float64, len(times))
+	for i, pi := range traj {
+		s := 0.0
+		for u, p := range pi {
+			if c.absorbing[u] {
+				s += p
+			}
+		}
+		out[i] = s
+	}
+	return out
+}

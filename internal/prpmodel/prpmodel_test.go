@@ -1,0 +1,145 @@
+package prpmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func cfg3() Config {
+	return Config{Mu: []float64{1.5, 1.0, 0.5}, SaveCost: 0.05, StateSize: 4096}
+}
+
+func TestValidate(t *testing.T) {
+	if err := cfg3().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{},
+		{Mu: []float64{0}},
+		{Mu: []float64{1}, SaveCost: -1},
+		{Mu: []float64{1}, StateSize: -1},
+		{Mu: []float64{1, math.Inf(1)}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestPaperOverheadFormulas(t *testing.T) {
+	c := cfg3()
+	// Section 4: "The additional time overhead for every recovery point is
+	// (n−1)·t_r" and "it is required to save n states for every RP".
+	if got := c.TimeOverheadPerRP(); math.Abs(got-2*0.05) > 1e-15 {
+		t.Fatalf("(n-1)t_r = %v", got)
+	}
+	if c.StatesPerRP() != 3 {
+		t.Fatalf("states per RP = %d", c.StatesPerRP())
+	}
+	if c.LiveStates() != 9 {
+		t.Fatalf("live states = %d, want n² = 9", c.LiveStates())
+	}
+	if got := c.LiveStorage(); got != 9*4096 {
+		t.Fatalf("live storage = %v", got)
+	}
+}
+
+func TestTimeOverheadRate(t *testing.T) {
+	c := cfg3()
+	// Σμ = 3 RPs per unit time; each costs the other two processes 0.05;
+	// per-process average = 0.05·3·(2/3) = 0.1.
+	if got := c.TimeOverheadRate(); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("overhead rate = %v", got)
+	}
+}
+
+func TestRollbackDistanceBound(t *testing.T) {
+	c := cfg3()
+	got, err := c.RollbackDistanceBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[max(Exp(1.5),Exp(1),Exp(0.5))] by inclusion–exclusion.
+	want := 1/1.5 + 1/1.0 + 1/0.5 - 1/2.5 - 1/2.0 - 1/1.5 + 1/3.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("bound = %v, want %v", got, want)
+	}
+}
+
+func TestMeanRollbackToPRL(t *testing.T) {
+	c := cfg3()
+	for i, mu := range c.Mu {
+		got, err := c.MeanRollbackToPRL(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-1/mu) > 1e-15 {
+			t.Fatalf("P%d rollback = %v, want %v", i+1, got, 1/mu)
+		}
+	}
+	if _, err := c.MeanRollbackToPRL(3); err == nil {
+		t.Fatal("accepted out-of-range process")
+	}
+}
+
+func TestCompareTradeoffShape(t *testing.T) {
+	// The paper's qualitative conclusion: PRP bounds rollback at the price
+	// of per-RP overhead; asynchronous has no overhead but E[X] (the rollback
+	// lower bound) exceeds the PRP bound once interactions are frequent.
+	cmp, err := Compare(3, 1.0, 0.05, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.PRPRollbackBound >= cmp.AsyncRollbackEX {
+		t.Fatalf("PRP bound %v should beat async E[X] %v at ρ=2",
+			cmp.PRPRollbackBound, cmp.AsyncRollbackEX)
+	}
+	if cmp.PRPOverheadPerRP <= 0 || cmp.SyncLossPerSync <= 0 {
+		t.Fatalf("overheads must be positive: %+v", cmp)
+	}
+	if cmp.PRPLiveStates != 9 {
+		t.Fatalf("live states = %d", cmp.PRPLiveStates)
+	}
+}
+
+func TestCompareSingleProcessDegenerate(t *testing.T) {
+	cmp, err := Compare(1, 2.0, 0.1, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.PRPOverheadPerRP != 0 {
+		t.Fatalf("single process pays no implantation cost: %v", cmp.PRPOverheadPerRP)
+	}
+	if cmp.SyncLossPerSync > 1e-12 {
+		t.Fatalf("single process never waits: %v", cmp.SyncLossPerSync)
+	}
+	if math.Abs(cmp.PRPRollbackBound-0.5) > 1e-12 {
+		t.Fatalf("bound = %v, want 1/μ", cmp.PRPRollbackBound)
+	}
+}
+
+func TestCompareRejectsBadInput(t *testing.T) {
+	if _, err := Compare(0, 1, 0, 1); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := Compare(2, 0, 0, 1); err == nil {
+		t.Fatal("accepted μ=0")
+	}
+}
+
+func TestOverheadGrowsWithN(t *testing.T) {
+	prev := -1.0
+	for n := 1; n <= 12; n++ {
+		mu := make([]float64, n)
+		for i := range mu {
+			mu[i] = 1
+		}
+		c := Config{Mu: mu, SaveCost: 0.05}
+		if got := c.TimeOverheadPerRP(); got <= prev {
+			t.Fatalf("overhead not increasing at n=%d", n)
+		} else {
+			prev = got
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package rbmodel implements the stochastic models of Shin & Lee (1983):
+// the continuous-time Markov chain whose absorption time is the interval X
+// between two successive recovery lines of asynchronous recovery blocks
+// (Section 2.2, Figure 2), the lumped symmetric chain (Figure 3), and the
+// discrete split chain Y_d used to count the states L_i saved per interval
+// (Figure 4). The experiments of Table 1 and Figures 5–6 are exact
+// computations on these chains.
+package rbmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params describes a set of n cooperating concurrent processes under the
+// paper's assumptions (Section 2.1): process P_i establishes recovery points
+// as a Poisson process with rate Mu[i], and each unordered pair (i,j)
+// interacts at exponential intervals with rate Lambda[i][j] = Lambda[j][i].
+type Params struct {
+	Mu     []float64   // per-process recovery-point rates μ_i, length n
+	Lambda [][]float64 // symmetric interaction-rate matrix λ_ij, zero diagonal
+}
+
+// N returns the number of processes.
+func (p Params) N() int { return len(p.Mu) }
+
+// Validate checks shape, symmetry and nonnegativity.
+func (p Params) Validate() error {
+	n := len(p.Mu)
+	if n == 0 {
+		return errors.New("rbmodel: need at least one process")
+	}
+	if len(p.Lambda) != n {
+		return fmt.Errorf("rbmodel: Lambda has %d rows, want %d", len(p.Lambda), n)
+	}
+	for i, mu := range p.Mu {
+		if mu <= 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+			return fmt.Errorf("rbmodel: μ_%d = %v must be positive and finite", i+1, mu)
+		}
+	}
+	for i := range p.Lambda {
+		if len(p.Lambda[i]) != n {
+			return fmt.Errorf("rbmodel: Lambda row %d has length %d, want %d", i, len(p.Lambda[i]), n)
+		}
+		if p.Lambda[i][i] != 0 {
+			return fmt.Errorf("rbmodel: Lambda diagonal entry %d must be zero", i)
+		}
+		for j := range p.Lambda[i] {
+			v := p.Lambda[i][j]
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("rbmodel: λ_%d%d = %v must be nonnegative and finite", i+1, j+1, v)
+			}
+			if v != p.Lambda[j][i] {
+				return fmt.Errorf("rbmodel: Lambda must be symmetric (λ_%d%d ≠ λ_%d%d)", i+1, j+1, j+1, i+1)
+			}
+		}
+	}
+	return nil
+}
+
+// Uniform builds parameters with μ_i = mu for all i and λ_ij = lambda for all
+// pairs — the symmetric case of Figure 3 and Figure 5.
+func Uniform(n int, mu, lambda float64) Params {
+	p := Params{Mu: make([]float64, n), Lambda: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		p.Mu[i] = mu
+		p.Lambda[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				p.Lambda[i][j] = lambda
+			}
+		}
+	}
+	return p
+}
+
+// ThreeProcess builds the paper's n=3 parameterization from
+// (μ1,μ2,μ3) and (λ12,λ23,λ13) — the exact tuples used in Table 1 and
+// Figure 6.
+func ThreeProcess(mu1, mu2, mu3, l12, l23, l13 float64) Params {
+	return Params{
+		Mu: []float64{mu1, mu2, mu3},
+		Lambda: [][]float64{
+			{0, l12, l13},
+			{l12, 0, l23},
+			{l13, l23, 0},
+		},
+	}
+}
+
+// SumMu returns Σ_k μ_k — the paper's direct entry→absorbing rate (rule R4).
+func (p Params) SumMu() float64 {
+	s := 0.0
+	for _, m := range p.Mu {
+		s += m
+	}
+	return s
+}
+
+// SumLambdaPairs returns Σ_{i<j} λ_ij.
+func (p Params) SumLambdaPairs() float64 {
+	s := 0.0
+	for i := range p.Lambda {
+		for j := i + 1; j < len(p.Lambda); j++ {
+			s += p.Lambda[i][j]
+		}
+	}
+	return s
+}
+
+// TotalEventRate returns G = Σ_{i<j} λ_ij + Σ_k μ_k, the normalization
+// factor of the discrete chain Y_d (Section 2.3).
+func (p Params) TotalEventRate() float64 { return p.SumLambdaPairs() + p.SumMu() }
+
+// Rho returns ρ = (Σ_i Σ_{j≠i} λ_ij)/(Σ_k μ_k) = 2·Σ_{i<j} λ_ij / Σ_k μ_k,
+// the paper's relative density of communications vs recovery points
+// (Table 1 caption and Figure 5).
+func (p Params) Rho() float64 { return 2 * p.SumLambdaPairs() / p.SumMu() }
+
+// Table1Case is one column of the paper's Table 1.
+type Table1Case struct {
+	Name   string
+	Params Params
+	// Paper-reported values (simulation estimates in the original).
+	PaperEX float64
+	PaperEL [3]float64
+}
+
+// Table1Cases returns the five parameter cases of Table 1 (all with ρ = 2).
+func Table1Cases() []Table1Case {
+	return []Table1Case{
+		{"case 1", ThreeProcess(1.0, 1.0, 1.0, 1.0, 1.0, 1.0), 2.598, [3]float64{2.500, 2.500, 2.500}},
+		{"case 2", ThreeProcess(1.5, 1.0, 0.5, 1.0, 1.0, 1.0), 3.357, [3]float64{4.847, 3.231, 1.616}},
+		{"case 3", ThreeProcess(1.0, 1.0, 1.0, 1.5, 0.5, 1.0), 2.600, [3]float64{2.453, 2.453, 2.453}},
+		{"case 4", ThreeProcess(1.5, 1.0, 0.5, 1.5, 0.5, 1.0), 3.203, [3]float64{4.533, 3.022, 1.511}},
+		{"case 5", ThreeProcess(1.5, 1.0, 0.5, 0.5, 1.5, 1.0), 3.354, [3]float64{4.967, 3.111, 1.656}},
+	}
+}
+
+// Fig6Case is one curve of the paper's Figure 6.
+type Fig6Case struct {
+	Name   string
+	Params Params
+}
+
+// Fig6Cases returns the three parameter cases of Figure 6.
+func Fig6Cases() []Fig6Case {
+	return []Fig6Case{
+		{"case 1", ThreeProcess(1.0, 1.0, 1.0, 1.0, 1.0, 1.0)},
+		{"case 2", ThreeProcess(0.6, 0.45, 0.45, 0.5, 0.5, 0.5)},
+		{"case 3", ThreeProcess(0.6, 0.45, 0.45, 0.75, 0.75, 0.75)},
+	}
+}

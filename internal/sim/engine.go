@@ -1,0 +1,106 @@
+// Package sim provides a small discrete-event simulation kernel and the
+// three scheme simulators used to cross-validate the analytic models:
+// AsyncSim (recovery-line intervals X and saved-state counts L_i, Table 1
+// and Figures 5–6), SyncSim (computation loss under the three
+// synchronization-request strategies of Section 3), and PRPSim (rollback
+// distances with pseudo recovery points vs asynchronous recovery lines,
+// Section 4).
+package sim
+
+import (
+	"container/heap"
+	"errors"
+)
+
+// Handler is invoked when its event fires. The current simulation time is
+// passed in.
+type Handler func(now float64)
+
+type event struct {
+	time float64
+	seq  uint64 // FIFO tie-break for equal times
+	fn   Handler
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a sequential discrete-event scheduler with a monotone clock.
+type Engine struct {
+	queue eventQueue
+	now   float64
+	seq   uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is an
+// error to catch causality bugs early.
+func (e *Engine) At(t float64, fn Handler) error {
+	if t < e.now {
+		return errors.New("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{time: t, seq: e.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn to run delay time units from now.
+func (e *Engine) After(delay float64, fn Handler) error {
+	if delay < 0 {
+		return errors.New("sim: negative delay")
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step fires the earliest event. It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.time
+	ev.fn(e.now)
+	return true
+}
+
+// RunUntil fires events in time order until the clock would pass horizon or
+// the queue drains. Events scheduled exactly at the horizon still fire.
+func (e *Engine) RunUntil(horizon float64) {
+	for len(e.queue) > 0 && e.queue[0].time <= horizon {
+		e.Step()
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// Run fires events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

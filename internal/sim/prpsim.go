@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"errors"
+	"math"
+
+	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/rbmodel"
+	"recoveryblocks/internal/stats"
+)
+
+// PRPOptions configures the pseudo-recovery-point simulation.
+type PRPOptions struct {
+	Probes int // number of error probes to take
+	Seed   int64
+	Warmup float64 // simulated time to discard before probing (lets RP history fill)
+	PLocal float64 // probability an error is local to the failing process (vs propagated)
+}
+
+// PRPResult compares rollback distances at error time under the two schemes
+// that do not force synchronization: pseudo recovery points (Section 4) and
+// plain asynchronous recovery lines (Section 2).
+type PRPResult struct {
+	LocalDistance      stats.Welford // restart from the failing process's own PRL
+	PropagatedDistance stats.Welford // Section 4 rollback algorithm result
+	AsyncDistance      stats.Welford // distance back to the latest recovery line
+	DominoFraction     float64       // fraction of probes whose async rollback hits t=0 (no line yet)
+	Probes             int
+}
+
+// SimulatePRP runs the full event process (recovery points and interactions)
+// and probes it with Poisson error arrivals. At each probe it computes:
+//
+//   - the local-error rollback distance: back to the failing process's most
+//     recent RP (the pseudo recovery line anchored there is intact because
+//     the error is local and the PRPs were implanted at that moment);
+//   - the propagated-error rollback distance: the Section 4 algorithm with
+//     the rollback pointer p, iterating until every affected process has
+//     rolled past one of its own recovery points;
+//   - the asynchronous rollback distance: back to the most recent recovery
+//     line detected with the paper's last-action rule (the domino effect can
+//     push this to the beginning of the run).
+//
+// Probing at Poisson times samples the time-stationary state (PASTA), so the
+// means are directly comparable to the analytic values: E[max_i Exp(μ_i)]
+// for propagated errors and E[X²]/(2·E[X]) for the renewal age of the
+// recovery-line process.
+func SimulatePRP(p rbmodel.Params, opt PRPOptions) (*PRPResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Probes < 1 {
+		return nil, errors.New("sim: Probes must be ≥ 1")
+	}
+	if opt.PLocal < 0 || opt.PLocal > 1 {
+		return nil, errors.New("sim: PLocal must be in [0,1]")
+	}
+	n := p.N()
+	// The probe rate only interleaves observation times; it does not disturb
+	// the process. One probe per mean recovery-line interval is a reasonable
+	// density that keeps probes nearly independent.
+	probeRate := p.SumMu() / float64(n)
+
+	type pair struct{ i, j int }
+	var pairs []pair
+	weights := make([]float64, 0, n+n*(n-1)/2+1)
+	for i := 0; i < n; i++ {
+		weights = append(weights, p.Mu[i])
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if p.Lambda[i][j] > 0 {
+				pairs = append(pairs, pair{i, j})
+				weights = append(weights, p.Lambda[i][j])
+			}
+		}
+	}
+	probeIdx := len(weights)
+	weights = append(weights, probeRate)
+	g := 0.0
+	for _, w := range weights {
+		g += w
+	}
+
+	rng := dist.NewStream(opt.Seed)
+	res := &PRPResult{}
+	lastRP := make([]float64, n) // most recent RP time per process (0 = process start)
+	ones := (1 << n) - 1
+	mask := ones
+	atLine := true
+	lastLine := 0.0
+	clock := 0.0
+	domino := 0
+
+	for res.Probes < opt.Probes {
+		clock += rng.Exp(g)
+		k := rng.Choice(weights)
+		switch {
+		case k < n: // recovery point of process k (PRPs implanted in the others)
+			lastRP[k] = clock
+			if atLine || mask|1<<k == ones {
+				lastLine = clock
+				mask = ones
+				atLine = true
+			} else {
+				mask |= 1 << k
+			}
+		case k < probeIdx: // interaction
+			pr := pairs[k-n]
+			bi, bj := mask&(1<<pr.i) != 0, mask&(1<<pr.j) != 0
+			switch {
+			case bi && bj:
+				mask &^= 1<<pr.i | 1<<pr.j
+			case bi:
+				mask &^= 1 << pr.i
+			case bj:
+				mask &^= 1 << pr.j
+			}
+			atLine = false
+		default: // error probe
+			if clock < opt.Warmup {
+				continue
+			}
+			victim := rng.Intn(n)
+			if rng.Bernoulli(opt.PLocal) {
+				res.LocalDistance.Add(clock - lastRP[victim])
+			} else {
+				anchor := rollbackPointerFixpoint(lastRP, victim)
+				res.PropagatedDistance.Add(clock - anchor)
+			}
+			res.AsyncDistance.Add(clock - lastLine)
+			if lastLine == 0 {
+				domino++
+			}
+			res.Probes++
+		}
+	}
+	res.DominoFraction = float64(domino) / float64(res.Probes)
+	return res, nil
+}
+
+// rollbackPointerFixpoint executes the Section 4 recovery algorithm
+// literally: start with the rollback pointer p at the failing process, roll
+// p back to its previous recovery point RP_p, roll every other process to
+// its pseudo recovery point PRP^p (implanted at the same moment), and if
+// some affected process has not thereby passed its own most recent recovery
+// point, move the pointer there and repeat. Returns the restart-line time.
+func rollbackPointerFixpoint(lastRP []float64, failing int) float64 {
+	p := failing
+	anchor := lastRP[p]
+	for {
+		moved := false
+		for j := range lastRP {
+			if j == p {
+				continue
+			}
+			// P_j rolls to PRP^p at time anchor. If that does not pass P_j's
+			// most recent RP, the restart state may be contaminated (the
+			// error may have propagated before PRP^p was recorded), so the
+			// pointer moves to P_j (strictly earlier anchor).
+			if lastRP[j] < anchor {
+				p = j
+				anchor = lastRP[j]
+				moved = true
+			}
+		}
+		if !moved {
+			return anchor
+		}
+	}
+}
+
+// OldestLastRP returns min_j lastRP[j] — the provable fixpoint of the
+// Section 4 algorithm, used as a cross-check in tests.
+func OldestLastRP(lastRP []float64) float64 {
+	m := math.Inf(1)
+	for _, t := range lastRP {
+		if t < m {
+			m = t
+		}
+	}
+	return m
+}

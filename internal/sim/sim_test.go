@@ -1,0 +1,395 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"recoveryblocks/internal/rbmodel"
+	"recoveryblocks/internal/stats"
+	"recoveryblocks/internal/synch"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, tt := range []float64{3, 1, 2, 1.5} {
+		tt := tt
+		if err := e.At(tt, func(now float64) { fired = append(fired, now) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(fired) || len(fired) != 4 {
+		t.Fatalf("events misordered: %v", fired)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := e.At(1.0, func(float64) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineRejectsPast(t *testing.T) {
+	e := NewEngine()
+	if err := e.At(5, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if err := e.At(1, func(float64) {}); err == nil {
+		t.Fatal("scheduled event in the past")
+	}
+	if err := e.After(-1, func(float64) {}); err == nil {
+		t.Fatal("accepted negative delay")
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var reschedule func(now float64)
+	reschedule = func(now float64) {
+		count++
+		_ = e.After(1, reschedule)
+	}
+	_ = e.After(1, reschedule)
+	e.RunUntil(10.5)
+	if count != 10 {
+		t.Fatalf("fired %d events, want 10", count)
+	}
+	if e.Now() != 10.5 {
+		t.Fatalf("clock = %v", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
+func TestEngineCascade(t *testing.T) {
+	// Events scheduled by handlers at the same time still run.
+	e := NewEngine()
+	hits := 0
+	_ = e.At(1, func(now float64) {
+		_ = e.At(now, func(float64) { hits++ })
+	})
+	e.Run()
+	if hits != 1 {
+		t.Fatal("cascaded same-time event did not fire")
+	}
+}
+
+// --- asynchronous scheme ---
+
+func TestSimulateAsyncMatchesModelCase1(t *testing.T) {
+	p := rbmodel.Uniform(3, 1, 1)
+	res, err := SimulateAsync(p, AsyncOptions{Intervals: 200000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact value 2.5 (hand-solved lumped chain).
+	if math.Abs(res.X.Mean()-2.5) > 4*res.X.CI95() {
+		t.Fatalf("sim E[X] = %v ± %v, want 2.5", res.X.Mean(), res.X.CI95())
+	}
+	for i := range res.L {
+		if math.Abs(res.L[i].Mean()-2.5) > 0.05 {
+			t.Fatalf("sim E[L%d] = %v, want 2.5", i+1, res.L[i].Mean())
+		}
+	}
+}
+
+func TestSimulateAsyncTable1AllCases(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-case simulation in -short mode")
+	}
+	for _, c := range rbmodel.Table1Cases() {
+		m, err := rbmodel.NewAsync(c.Params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantX, err := m.MeanX()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantL, err := m.MeanLWald()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SimulateAsync(c.Params, AsyncOptions{Intervals: 100000, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.X.Mean()-wantX) > 4*res.X.CI95() {
+			t.Errorf("%s: sim E[X] = %v ± %v vs exact %v", c.Name, res.X.Mean(), res.X.CI95(), wantX)
+		}
+		for i := range wantL {
+			if math.Abs(res.L[i].Mean()-wantL[i]) > 4*res.L[i].CI95()+0.02 {
+				t.Errorf("%s: sim E[L%d] = %v vs exact %v", c.Name, i+1, res.L[i].Mean(), wantL[i])
+			}
+		}
+	}
+}
+
+func TestSimulateAsyncDistributionKS(t *testing.T) {
+	// The whole distribution (not just the mean) must match the chain:
+	// Kolmogorov–Smirnov against the analytic CDF.
+	p := rbmodel.Table1Cases()[0].Params
+	m, err := rbmodel.NewAsync(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateAsync(p, AsyncOptions{Intervals: 5000, Seed: 13, KeepSamples: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := res.KSAgainstModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consecutive intervals are iid (the chain restarts at each line), so
+	// the standard critical value applies.
+	if crit := stats.KSCritical95(len(res.Samples)); d > crit {
+		t.Fatalf("KS distance %v exceeds critical %v", d, crit)
+	}
+}
+
+func TestSimulateAsyncHistogramPeakNearZero(t *testing.T) {
+	// Figure 6's sharp peak near t = 0 must appear in the simulated density.
+	p := rbmodel.Fig6Cases()[0].Params
+	res, err := SimulateAsync(p, AsyncOptions{Intervals: 100000, Seed: 3, HistMax: 2.0, HistBins: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Hist.Density()
+	maxIdx := 0
+	for i, v := range d {
+		if v > d[maxIdx] {
+			maxIdx = i
+		}
+	}
+	if maxIdx != 0 {
+		t.Fatalf("density peak at bin %d, want 0 (sharp near-zero peak)", maxIdx)
+	}
+}
+
+func TestSimulateAsyncValidation(t *testing.T) {
+	p := rbmodel.Uniform(2, 1, 1)
+	if _, err := SimulateAsync(p, AsyncOptions{Intervals: 0}); err == nil {
+		t.Fatal("accepted zero intervals")
+	}
+	if _, err := SimulateAsync(rbmodel.Params{}, AsyncOptions{Intervals: 1}); err == nil {
+		t.Fatal("accepted invalid params")
+	}
+}
+
+func TestSimulateAsyncDeterministicBySeed(t *testing.T) {
+	p := rbmodel.Uniform(3, 1, 1)
+	a, err := SimulateAsync(p, AsyncOptions{Intervals: 500, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateAsync(p, AsyncOptions{Intervals: 500, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.X.Mean() != b.X.Mean() {
+		t.Fatal("same seed produced different results")
+	}
+}
+
+// --- synchronized scheme ---
+
+func TestSimulateSyncLossMatchesAnalytic(t *testing.T) {
+	mu := []float64{1.5, 1.0, 0.5}
+	want, err := synch.MeanLoss(mu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []SyncStrategy{SyncConstantInterval, SyncElapsedSinceLine, SyncStatesSaved} {
+		res, err := SimulateSync(mu, SyncOptions{Strategy: strat, Threshold: 3, Cycles: 100000, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The waiting loss per synchronization is strategy-independent
+		// (memorylessness): all three must agree with the closed form.
+		if math.Abs(res.Loss.Mean()-want) > 4*res.Loss.CI95() {
+			t.Errorf("%v: CL = %v ± %v, want %v", strat, res.Loss.Mean(), res.Loss.CI95(), want)
+		}
+	}
+}
+
+func TestSimulateSyncZMatchesMeanMax(t *testing.T) {
+	mu := []float64{1, 1, 1}
+	want, err := synch.MeanMaxEqual(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateSync(mu, SyncOptions{Strategy: SyncElapsedSinceLine, Threshold: 2, Cycles: 100000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Z.Mean()-want) > 4*res.Z.CI95() {
+		t.Fatalf("E[Z] = %v, want %v", res.Z.Mean(), want)
+	}
+}
+
+func TestSimulateSyncCycleLength(t *testing.T) {
+	// Elapsed-since-line strategy: cycle length = threshold + Z exactly.
+	mu := []float64{2, 2}
+	res, err := SimulateSync(mu, SyncOptions{Strategy: SyncElapsedSinceLine, Threshold: 5, Cycles: 50000, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantZ, _ := synch.MeanMaxEqual(2, 2)
+	want := 5 + wantZ
+	if math.Abs(res.CycleLength.Mean()-want) > 4*res.CycleLength.CI95() {
+		t.Fatalf("cycle = %v, want %v", res.CycleLength.Mean(), want)
+	}
+}
+
+func TestSimulateSyncStatesSavedStrategy(t *testing.T) {
+	mu := []float64{1, 1, 1}
+	res, err := SimulateSync(mu, SyncOptions{Strategy: SyncStatesSaved, Threshold: 6, Cycles: 50000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatesSaved.Mean() != 6 {
+		t.Fatalf("states per cycle = %v, want exactly 6", res.StatesSaved.Mean())
+	}
+	// Request time is Erlang(6, Σμ=3): mean cycle ≈ 2 + E[Z].
+	wantZ, _ := synch.MeanMaxEqual(3, 1)
+	if math.Abs(res.CycleLength.Mean()-(2+wantZ)) > 4*res.CycleLength.CI95() {
+		t.Fatalf("cycle = %v, want %v", res.CycleLength.Mean(), 2+wantZ)
+	}
+}
+
+func TestSimulateSyncValidation(t *testing.T) {
+	if _, err := SimulateSync(nil, SyncOptions{Threshold: 1, Cycles: 1}); err == nil {
+		t.Fatal("accepted empty mu")
+	}
+	if _, err := SimulateSync([]float64{1}, SyncOptions{Threshold: 0, Cycles: 1}); err == nil {
+		t.Fatal("accepted zero threshold")
+	}
+	if _, err := SimulateSync([]float64{1}, SyncOptions{Threshold: 1, Cycles: 0}); err == nil {
+		t.Fatal("accepted zero cycles")
+	}
+	if _, err := SimulateSync([]float64{-1}, SyncOptions{Threshold: 1, Cycles: 1}); err == nil {
+		t.Fatal("accepted negative rate")
+	}
+}
+
+// --- PRP scheme ---
+
+func TestSimulatePRPPropagatedMatchesBound(t *testing.T) {
+	// Propagated-error rollback distance = max of backward recurrence times,
+	// each Exp(μ_i): mean = E[sup y_i] (the paper's bound, met with equality
+	// for Poisson RP streams).
+	p := rbmodel.Uniform(3, 1, 1)
+	res, err := SimulatePRP(p, PRPOptions{Probes: 100000, Seed: 17, Warmup: 50, PLocal: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := synch.MeanMaxEqual(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.PropagatedDistance.Mean()-want) > 5*res.PropagatedDistance.CI95() {
+		t.Fatalf("propagated distance = %v ± %v, want %v",
+			res.PropagatedDistance.Mean(), res.PropagatedDistance.CI95(), want)
+	}
+}
+
+func TestSimulatePRPLocalMatchesRecurrence(t *testing.T) {
+	// Local-error distance = backward recurrence of the victim's RP stream:
+	// victims uniform over processes ⇒ mean = avg_i 1/μ_i.
+	p := rbmodel.ThreeProcess(1.5, 1.0, 0.5, 1, 1, 1)
+	res, err := SimulatePRP(p, PRPOptions{Probes: 100000, Seed: 23, Warmup: 50, PLocal: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1/1.5 + 1/1.0 + 1/0.5) / 3
+	if math.Abs(res.LocalDistance.Mean()-want) > 5*res.LocalDistance.CI95() {
+		t.Fatalf("local distance = %v ± %v, want %v",
+			res.LocalDistance.Mean(), res.LocalDistance.CI95(), want)
+	}
+}
+
+func TestSimulatePRPAsyncMatchesRenewalAge(t *testing.T) {
+	// Async rollback distance at a Poisson probe = age of the recovery-line
+	// renewal process: E[age] = E[X²]/(2E[X]) from the chain's exact moments.
+	p := rbmodel.Uniform(3, 1, 1)
+	m, err := rbmodel.NewAsync(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2, err := m.MomentsX()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m2 / (2 * m1)
+	res, err := SimulatePRP(p, PRPOptions{Probes: 200000, Seed: 31, Warmup: 200, PLocal: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AsyncDistance.Mean()-want) > 5*res.AsyncDistance.CI95() {
+		t.Fatalf("async distance = %v ± %v, want E[X²]/2E[X] = %v",
+			res.AsyncDistance.Mean(), res.AsyncDistance.CI95(), want)
+	}
+}
+
+func TestSimulatePRPBeatsAsyncAtHighInteraction(t *testing.T) {
+	// The PRP selling point: with frequent interactions, recovery lines are
+	// rare (long async rollback) while the PRP bound stays put.
+	p := rbmodel.Uniform(4, 1, 2)
+	res, err := SimulatePRP(p, PRPOptions{Probes: 50000, Seed: 37, Warmup: 100, PLocal: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PropagatedDistance.Mean() >= res.AsyncDistance.Mean() {
+		t.Fatalf("PRP distance %v should beat async %v at λ/μ=2, n=4",
+			res.PropagatedDistance.Mean(), res.AsyncDistance.Mean())
+	}
+}
+
+func TestRollbackPointerFixpointEqualsOldest(t *testing.T) {
+	cases := [][]float64{
+		{5, 3, 4},
+		{1, 1, 1},
+		{0, 7, 2},
+		{9.5},
+		{2, 8, 8, 0.5, 3},
+	}
+	for _, lastRP := range cases {
+		for failing := range lastRP {
+			got := rollbackPointerFixpoint(lastRP, failing)
+			want := OldestLastRP(lastRP)
+			if got != want {
+				t.Fatalf("fixpoint(%v, fail=%d) = %v, want %v", lastRP, failing, got, want)
+			}
+		}
+	}
+}
+
+func TestSimulatePRPValidation(t *testing.T) {
+	p := rbmodel.Uniform(2, 1, 1)
+	if _, err := SimulatePRP(p, PRPOptions{Probes: 0}); err == nil {
+		t.Fatal("accepted zero probes")
+	}
+	if _, err := SimulatePRP(p, PRPOptions{Probes: 1, PLocal: 2}); err == nil {
+		t.Fatal("accepted PLocal > 1")
+	}
+}

@@ -1,0 +1,273 @@
+// Package stats provides the estimation utilities used to compare simulation
+// output against the paper's analytic results: streaming moments with
+// confidence intervals, histograms, empirical CDFs, Kolmogorov–Smirnov
+// distances, and adaptive numeric quadrature.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Welford accumulates mean and variance in a single numerically stable pass.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds x into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean. Valid for the large replication counts used here.
+func (w *Welford) CI95() float64 { return 1.96 * w.StdErr() }
+
+// Mean returns the mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Quantile returns the q-th sample quantile (0 <= q <= 1) using linear
+// interpolation on the sorted copy of xs. It panics for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram bins observations over [Min, Max) into equal-width bins;
+// observations outside the range are counted in Under/Over.
+type Histogram struct {
+	Min, Max    float64
+	Counts      []int
+	Under, Over int
+	total       int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over [min,max).
+func NewHistogram(min, max float64, bins int) *Histogram {
+	if bins <= 0 || max <= min {
+		panic("stats: invalid histogram shape")
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Min:
+		h.Under++
+	case x >= h.Max:
+		h.Over++
+	default:
+		i := int((x - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // x == Max guarded above; float edge safety
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// N returns the total number of observations including out-of-range ones.
+func (h *Histogram) N() int { return h.total }
+
+// BinWidth returns the width of each bin.
+func (h *Histogram) BinWidth() float64 { return (h.Max - h.Min) / float64(len(h.Counts)) }
+
+// Density returns the estimated probability density at each bin center,
+// normalized by the total observation count (including out-of-range).
+func (h *Histogram) Density() []float64 {
+	d := make([]float64, len(h.Counts))
+	if h.total == 0 {
+		return d
+	}
+	w := h.BinWidth()
+	for i, c := range h.Counts {
+		d[i] = float64(c) / (float64(h.total) * w)
+	}
+	return d
+}
+
+// BinCenters returns the center coordinate of each bin.
+func (h *Histogram) BinCenters() []float64 {
+	w := h.BinWidth()
+	cs := make([]float64, len(h.Counts))
+	for i := range cs {
+		cs[i] = h.Min + (float64(i)+0.5)*w
+	}
+	return cs
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample (which it copies and sorts).
+func NewECDF(xs []float64) *ECDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns the fraction of the sample <= x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	// SearchFloat64s finds the first index >= x; advance over equal values.
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// KSAgainst returns the Kolmogorov–Smirnov statistic sup|ECDF - cdf| against
+// a reference CDF, evaluated at the sample points (where the supremum of a
+// step-function difference is attained).
+func (e *ECDF) KSAgainst(cdf func(float64) float64) float64 {
+	n := float64(len(e.sorted))
+	if n == 0 {
+		return 0
+	}
+	d := 0.0
+	for i, x := range e.sorted {
+		f := cdf(x)
+		lo := math.Abs(f - float64(i)/n)
+		hi := math.Abs(float64(i+1)/n - f)
+		if lo > d {
+			d = lo
+		}
+		if hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// KSCritical95 returns the approximate 95% critical value of the one-sample
+// KS statistic for sample size n (asymptotic formula 1.358/√n).
+func KSCritical95(n int) float64 {
+	if n <= 0 {
+		return math.Inf(1)
+	}
+	return 1.358 / math.Sqrt(float64(n))
+}
+
+// ErrNoConverge is returned when adaptive quadrature hits its depth limit.
+var ErrNoConverge = errors.New("stats: quadrature failed to converge")
+
+// IntegrateSimpson computes ∫_a^b f(t) dt with adaptive Simpson quadrature to
+// absolute tolerance tol.
+func IntegrateSimpson(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	m := (a + b) / 2
+	fm := f(m)
+	whole := simpson(a, b, fa, fm, fb)
+	v, err := adaptiveSimpson(f, a, b, fa, fm, fb, whole, tol, 50)
+	return v, err
+}
+
+func simpson(a, b, fa, fm, fb float64) float64 {
+	return (b - a) / 6 * (fa + 4*fm + fb)
+}
+
+func adaptiveSimpson(f func(float64) float64, a, b, fa, fm, fb, whole, tol float64, depth int) (float64, error) {
+	m := (a + b) / 2
+	lm, rm := (a+m)/2, (m+b)/2
+	flm, frm := f(lm), f(rm)
+	left := simpson(a, m, fa, flm, fm)
+	right := simpson(m, b, fm, frm, fb)
+	if math.Abs(left+right-whole) <= 15*tol {
+		return left + right + (left+right-whole)/15, nil
+	}
+	if depth <= 0 {
+		return left + right, ErrNoConverge
+	}
+	l, errL := adaptiveSimpson(f, a, m, fa, flm, fm, left, tol/2, depth-1)
+	r, errR := adaptiveSimpson(f, m, b, fm, frm, fb, right, tol/2, depth-1)
+	if errL != nil {
+		return l + r, errL
+	}
+	return l + r, errR
+}
+
+// IntegrateToInf computes ∫_a^∞ f(t) dt for an integrand with (at least)
+// exponentially decaying tail by marching fixed-width panels until the last
+// panel's contribution is below tol.
+func IntegrateToInf(f func(float64) float64, a, panel, tol float64) (float64, error) {
+	if panel <= 0 {
+		return 0, errors.New("stats: panel width must be positive")
+	}
+	total := 0.0
+	lo := a
+	for i := 0; i < 100000; i++ {
+		v, err := IntegrateSimpson(f, lo, lo+panel, tol/10)
+		if err != nil {
+			return total, err
+		}
+		total += v
+		if math.Abs(v) < tol && i > 2 {
+			return total, nil
+		}
+		lo += panel
+	}
+	return total, ErrNoConverge
+}

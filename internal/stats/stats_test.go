@@ -1,0 +1,265 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWelfordAgainstDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 5
+		w.Add(xs[i])
+	}
+	mean := Mean(xs)
+	if math.Abs(w.Mean()-mean) > 1e-10 {
+		t.Fatalf("Welford mean %v vs direct %v", w.Mean(), mean)
+	}
+	varSum := 0.0
+	for _, x := range xs {
+		varSum += (x - mean) * (x - mean)
+	}
+	direct := varSum / float64(len(xs)-1)
+	if math.Abs(w.Variance()-direct) > 1e-9 {
+		t.Fatalf("Welford var %v vs direct %v", w.Variance(), direct)
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdErr() != 0 {
+		t.Fatal("empty Welford not zero")
+	}
+	w.Add(42)
+	if w.Mean() != 42 || w.Variance() != 0 {
+		t.Fatal("single-sample Welford wrong")
+	}
+}
+
+func TestWelfordCI95Shrinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var w1, w2 Welford
+	for i := 0; i < 100; i++ {
+		w1.Add(rng.NormFloat64())
+	}
+	for i := 0; i < 10000; i++ {
+		w2.Add(rng.NormFloat64())
+	}
+	if w2.CI95() >= w1.CI95() {
+		t.Fatal("CI did not shrink with more samples")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if Quantile(xs, 0.5) != 3 {
+		t.Fatalf("median = %v", Quantile(xs, 0.5))
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %v", got)
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.35); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("interpolated quantile = %v", got)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Fatalf("bin %d count %d", i, c)
+		}
+	}
+	h.Add(-1)
+	h.Add(10)
+	h.Add(11)
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("out-of-range: under %d over %d", h.Under, h.Over)
+	}
+	if h.N() != 13 {
+		t.Fatalf("N = %d", h.N())
+	}
+}
+
+func TestHistogramDensityIntegratesToInRangeFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewHistogram(0, 5, 50)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Add(rng.ExpFloat64()) // rate 1
+	}
+	sum := 0.0
+	for _, d := range h.Density() {
+		sum += d * h.BinWidth()
+	}
+	inRange := float64(n-h.Over-h.Under) / n
+	if math.Abs(sum-inRange) > 1e-9 {
+		t.Fatalf("density mass %v, in-range fraction %v", sum, inRange)
+	}
+	// Density near 0 should approach e^0 = 1 for Exp(1).
+	if d0 := h.Density()[0]; math.Abs(d0-1) > 0.1 {
+		t.Fatalf("density at 0 = %v, want ≈ 1", d0)
+	}
+}
+
+func TestBinCenters(t *testing.T) {
+	h := NewHistogram(0, 1, 4)
+	want := []float64{0.125, 0.375, 0.625, 0.875}
+	for i, c := range h.BinCenters() {
+		if math.Abs(c-want[i]) > 1e-12 {
+			t.Fatalf("center %d = %v", i, c)
+		}
+	}
+}
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("ECDF(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestKSExponentialSampleAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64()
+	}
+	e := NewECDF(xs)
+	d := e.KSAgainst(func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x)
+	})
+	if d > KSCritical95(len(xs)) {
+		t.Fatalf("KS rejected a correct exponential sample: d=%v crit=%v", d, KSCritical95(len(xs)))
+	}
+}
+
+func TestKSWrongDistributionRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 2 // rate 1/2, tested against rate 1
+	}
+	e := NewECDF(xs)
+	d := e.KSAgainst(func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return 1 - math.Exp(-x)
+	})
+	if d <= KSCritical95(len(xs)) {
+		t.Fatalf("KS failed to reject a wrong distribution: d=%v", d)
+	}
+}
+
+func TestIntegrateSimpsonPolynomial(t *testing.T) {
+	// Simpson is exact for cubics.
+	v, err := IntegrateSimpson(func(x float64) float64 { return x*x*x - 2*x + 1 }, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4.0 - 4 + 2
+	if math.Abs(v-want) > 1e-10 {
+		t.Fatalf("∫cubic = %v, want %v", v, want)
+	}
+}
+
+func TestIntegrateSimpsonOscillatory(t *testing.T) {
+	v, err := IntegrateSimpson(math.Sin, 0, math.Pi, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2) > 1e-8 {
+		t.Fatalf("∫sin = %v, want 2", v)
+	}
+}
+
+func TestIntegrateToInfExponential(t *testing.T) {
+	v, err := IntegrateToInf(func(x float64) float64 { return math.Exp(-x) }, 0, 1.0, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-7 {
+		t.Fatalf("∫e^-x = %v, want 1", v)
+	}
+}
+
+func TestIntegrateToInfMaxExpTail(t *testing.T) {
+	// ∫(1-G(t))dt for max of 3 iid Exp(1) = H_3 = 1 + 1/2 + 1/3.
+	g := func(x float64) float64 {
+		p := 1 - math.Exp(-x)
+		return 1 - p*p*p
+	}
+	v, err := IntegrateToInf(g, 0, 2.0, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1.0 + 0.5 + 1.0/3
+	if math.Abs(v-want) > 1e-6 {
+		t.Fatalf("E[max] = %v, want %v", v, want)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECDFMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 30)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		e := NewECDF(xs)
+		prev := -1.0
+		for x := -4.0; x <= 4; x += 0.1 {
+			v := e.At(x)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return prev <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

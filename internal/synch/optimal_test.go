@@ -1,0 +1,101 @@
+package synch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOverheadRateValidation(t *testing.T) {
+	mu := []float64{1, 1, 1}
+	if _, err := OverheadRate(mu, 0, 0.1); err == nil {
+		t.Fatal("accepted tau=0")
+	}
+	if _, err := OverheadRate(mu, 1, -1); err == nil {
+		t.Fatal("accepted negative theta")
+	}
+	if _, err := OverheadRate(nil, 1, 0.1); err == nil {
+		t.Fatal("accepted empty mu")
+	}
+}
+
+func TestOverheadRateLimits(t *testing.T) {
+	mu := []float64{1, 1, 1}
+	// With no errors, overhead decays toward 0 as tau grows.
+	small, err := OverheadRate(mu, 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := OverheadRate(mu, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small >= big {
+		t.Fatalf("error-free overhead should fall with tau: %v vs %v", small, big)
+	}
+	// With errors, overhead grows again for huge tau (rollback dominates).
+	atOpt, err := OverheadRate(mu, 3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge, err := OverheadRate(mu, 300, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge <= atOpt {
+		t.Fatalf("rollback loss should dominate at huge tau: %v vs %v", huge, atOpt)
+	}
+}
+
+func TestOptimalIntervalIsMinimum(t *testing.T) {
+	mu := []float64{1.5, 1.0, 0.5}
+	theta := 0.02
+	tau, over, err := OptimalInterval(mu, theta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau <= 0 {
+		t.Fatalf("tau = %v", tau)
+	}
+	// Perturbing the interval in either direction must not reduce the cost.
+	for _, factor := range []float64{0.5, 0.8, 1.25, 2.0} {
+		v, err := OverheadRate(mu, tau*factor, theta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < over-1e-9 {
+			t.Fatalf("found cheaper interval %v: %v < %v", tau*factor, v, over)
+		}
+	}
+}
+
+func TestOptimalIntervalScalesWithErrorRate(t *testing.T) {
+	mu := []float64{1, 1, 1}
+	tauLow, _, err := OptimalInterval(mu, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tauHigh, _, err := OptimalInterval(mu, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequent errors → synchronize more often.
+	if tauHigh >= tauLow {
+		t.Fatalf("tau should shrink with error rate: %v vs %v", tauHigh, tauLow)
+	}
+	// Square-root scaling heuristic: tau* ≈ sqrt(2·CL/(θ·n)); check order of
+	// magnitude (the exact optimum includes the E[Z] cycle stretch).
+	cl, _ := MeanLoss(mu)
+	approx := math.Sqrt(2 * cl / (0.001 * 3))
+	if tauLow < approx/5 || tauLow > approx*5 {
+		t.Fatalf("tau* = %v far from sqrt scaling %v", tauLow, approx)
+	}
+}
+
+func TestOptimalIntervalValidation(t *testing.T) {
+	if _, _, err := OptimalInterval([]float64{1}, 0); err == nil {
+		t.Fatal("accepted theta=0")
+	}
+	if _, _, err := OptimalInterval(nil, 1); err == nil {
+		t.Fatal("accepted empty mu")
+	}
+}

@@ -1,0 +1,154 @@
+// Package trace records and renders process history diagrams — the textual
+// equivalent of the paper's Figure 1 (occurrence of interactions and
+// recovery points), Figure 7 (recovery-line establishment upon
+// synchronization requests) and Figure 8 (pseudo-recovery-point
+// implantation and the restart line after a failure).
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a history event.
+type Kind int
+
+const (
+	// EvRP marks the establishment of a proper recovery point ("O" in the
+	// paper's Figure 8 legend).
+	EvRP Kind = iota
+	// EvPRP marks a pseudo recovery point ("#" here, the circled variant in
+	// the paper).
+	EvPRP
+	// EvConversation marks a synchronized test line (a recovery line).
+	EvConversation
+	// EvSend marks a message transmission (tail of an interaction arrow).
+	EvSend
+	// EvRecv marks a message delivery (head of an interaction arrow).
+	EvRecv
+	// EvATFail marks an acceptance-test failure.
+	EvATFail
+	// EvRollback marks a process being restored to an earlier state.
+	EvRollback
+	// EvFault marks an injected error detection.
+	EvFault
+)
+
+// Event is one row of the history.
+type Event struct {
+	Time  int64 // logical timestamp (total order)
+	Proc  int
+	Kind  Kind
+	Peer  int    // counterparty for EvSend/EvRecv
+	Label string // free-form annotation (block name, checkpoint kind, ...)
+}
+
+// symbol returns the column marker for an event.
+func (e Event) symbol() string {
+	switch e.Kind {
+	case EvRP:
+		return "[O]"
+	case EvPRP:
+		return "[#]"
+	case EvConversation:
+		return "[=]"
+	case EvSend:
+		return " s "
+	case EvRecv:
+		return " r "
+	case EvATFail:
+		return " X "
+	case EvRollback:
+		return " ^ "
+	case EvFault:
+		return " ! "
+	default:
+		return " ? "
+	}
+}
+
+// describe returns the annotation column text.
+func (e Event) describe() string {
+	switch e.Kind {
+	case EvRP:
+		return fmt.Sprintf("P%d establishes RP %s", e.Proc+1, e.Label)
+	case EvPRP:
+		return fmt.Sprintf("P%d implants PRP (anchor %s)", e.Proc+1, e.Label)
+	case EvConversation:
+		return fmt.Sprintf("P%d commits test line %s (recovery line)", e.Proc+1, e.Label)
+	case EvSend:
+		return fmt.Sprintf("P%d --> P%d  %s", e.Proc+1, e.Peer+1, e.Label)
+	case EvRecv:
+		return fmt.Sprintf("P%d <-- P%d  %s", e.Proc+1, e.Peer+1, e.Label)
+	case EvATFail:
+		return fmt.Sprintf("P%d FAILS acceptance test %s", e.Proc+1, e.Label)
+	case EvRollback:
+		return fmt.Sprintf("P%d rolls back to %s", e.Proc+1, e.Label)
+	case EvFault:
+		return fmt.Sprintf("P%d detects error (%s)", e.Proc+1, e.Label)
+	default:
+		return e.Label
+	}
+}
+
+// Diagram is a renderable history of n processes.
+type Diagram struct {
+	N      int
+	Events []Event
+}
+
+// Render draws the history: one column per process (time flows downward, as
+// in the paper's figures), one row per event, with an annotation column.
+func (d *Diagram) Render() string {
+	const colWidth = 7
+	var b strings.Builder
+	b.WriteString("time ")
+	for i := 0; i < d.N; i++ {
+		b.WriteString(center(fmt.Sprintf("P%d", i+1), colWidth))
+	}
+	b.WriteString("  event\n")
+	b.WriteString("-----" + strings.Repeat(strings.Repeat("-", colWidth), d.N) + "  " +
+		strings.Repeat("-", 40) + "\n")
+	for _, e := range d.Events {
+		fmt.Fprintf(&b, "%4d ", e.Time)
+		for i := 0; i < d.N; i++ {
+			cell := "  |  "
+			switch {
+			case i == e.Proc:
+				cell = e.symbol()
+			case e.Kind == EvSend && between(i, e.Proc, e.Peer):
+				cell = "-----"
+			case e.Kind == EvRecv && between(i, e.Proc, e.Peer):
+				cell = "-----"
+			}
+			b.WriteString(center(cell, colWidth))
+		}
+		b.WriteString("  " + e.describe() + "\n")
+	}
+	return b.String()
+}
+
+// between reports whether column i lies strictly between columns a and b.
+func between(i, a, b int) bool {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	return i > lo && i < hi
+}
+
+func center(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	left := (w - len(s)) / 2
+	return strings.Repeat(" ", left) + s + strings.Repeat(" ", w-len(s)-left)
+}
+
+// Legend returns the symbol key, mirroring the paper's Figure 8 legend.
+func Legend() string {
+	return `legend: [O] recovery point (RP)   [#] pseudo recovery point (PRP)
+        [=] conversation test line (recovery line)
+         s  message send    r  message receive
+         X  acceptance test fails    !  error detected    ^  rollback restore`
+}

@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	d := &Diagram{N: 3, Events: []Event{
+		{Time: 1, Proc: 0, Kind: EvRP, Label: "RP1"},
+		{Time: 2, Proc: 0, Kind: EvSend, Peer: 2, Label: "m"},
+		{Time: 3, Proc: 2, Kind: EvRecv, Peer: 0, Label: "m"},
+		{Time: 4, Proc: 1, Kind: EvATFail, Label: "AT2"},
+		{Time: 5, Proc: 1, Kind: EvRollback, Label: "RP"},
+	}}
+	out := d.Render()
+	for _, want := range []string{"P1", "P2", "P3", "[O]", " X ", " ^ ", "P1 --> P3", "P3 <-- P1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The send row must bridge the middle column.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "P1 --> P3") && !strings.Contains(line, "---") {
+			t.Error("no arrow body between P1 and P3")
+		}
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	kinds := []Kind{EvRP, EvPRP, EvConversation, EvSend, EvRecv, EvATFail, EvRollback, EvFault}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := Event{Kind: k}.symbol()
+		if seen[s] {
+			t.Errorf("duplicate symbol %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestDescribeMentionsProcesses(t *testing.T) {
+	e := Event{Proc: 1, Peer: 2, Kind: EvSend, Label: "tok"}
+	if !strings.Contains(e.describe(), "P2") || !strings.Contains(e.describe(), "P3") {
+		t.Errorf("describe = %q", e.describe())
+	}
+}
+
+func TestLegendCoversSymbols(t *testing.T) {
+	l := Legend()
+	for _, s := range []string{"[O]", "[#]", "[=]"} {
+		if !strings.Contains(l, s) {
+			t.Errorf("legend missing %q", s)
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	if !between(1, 0, 2) || between(0, 0, 2) || between(2, 0, 2) || !between(1, 2, 0) {
+		t.Fatal("between wrong")
+	}
+}
+
+func TestCenterWidths(t *testing.T) {
+	if got := center("ab", 6); len(got) != 6 {
+		t.Fatalf("center width %d", len(got))
+	}
+	if got := center("abcdefgh", 4); got != "abcd" {
+		t.Fatalf("overlong center = %q", got)
+	}
+}

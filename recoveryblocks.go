@@ -1,0 +1,237 @@
+// Package recoveryblocks reproduces Shin & Lee, "Analysis of Backward Error
+// Recovery for Concurrent Processes with Recovery Blocks" (ICPP 1983), as a
+// production-quality Go library.
+//
+// It provides three layers:
+//
+//   - An executable runtime (System, Process programs built with Builder)
+//     that runs cooperating concurrent processes — one goroutine each —
+//     under recovery blocks with acceptance tests and alternates, in the
+//     three organizations the paper analyzes: asynchronous recovery blocks
+//     (rollback propagation and the domino effect), synchronized recovery
+//     blocks (conversations at test lines), and pseudo recovery points
+//     (implantation, bounded rollback).
+//
+//   - The paper's stochastic models, solved exactly: the 2^n+1-state
+//     continuous-time Markov chain whose absorption time is the interval X
+//     between successive recovery lines (AsyncModel), its lumped symmetric
+//     form (SymmetricModel), the split discrete chain Y_d counting saved
+//     states L_i (SplitChain), and the closed forms for synchronization
+//     loss and PRP overhead.
+//
+//   - Experiments (Table1, Figure5, Figure6, Section3, Section4,
+//     Figure1Domino, Figure7SyncTrace, Figure8PRPTrace, ModelGraphs) that
+//     regenerate every table and figure of the paper's evaluation; see
+//     cmd/rbrepro for the command-line driver and EXPERIMENTS.md for the
+//     paper-vs-measured record.
+package recoveryblocks
+
+import (
+	"recoveryblocks/internal/core"
+	"recoveryblocks/internal/expt"
+	"recoveryblocks/internal/rbmodel"
+	"recoveryblocks/internal/sim"
+	"recoveryblocks/internal/synch"
+)
+
+// ---- Runtime layer (internal/core) ----
+
+// Aliases re-exporting the executable recovery-block runtime.
+type (
+	// System runs n processes under a recovery strategy.
+	System = core.System
+	// Config configures a System.
+	Config = core.Config
+	// Program is a process program; build with NewBuilder.
+	Program = core.Program
+	// Builder assembles Programs.
+	Builder = core.Builder
+	// Ctx is passed to user step functions.
+	Ctx = core.Ctx
+	// State is the checkpointable process state.
+	State = core.State
+	// Value is a message payload.
+	Value = core.Value
+	// Metrics aggregates a run's accounting.
+	Metrics = core.Metrics
+	// ProcStats is per-process accounting.
+	ProcStats = core.ProcStats
+	// FaultPlan schedules error injections.
+	FaultPlan = core.FaultPlan
+	// Fault is one scheduled error.
+	Fault = core.Fault
+	// ATPlan schedules acceptance-test failures.
+	ATPlan = core.ATPlan
+	// ATOverride is one scheduled AT failure.
+	ATOverride = core.ATOverride
+	// Strategy selects the recovery organization.
+	Strategy = core.Strategy
+	// Counter, Ints and Record are ready-made State implementations.
+	Counter = core.Counter
+	// Ints is a ready-made State of int64s.
+	Ints = core.Ints
+	// Record is a ready-made keyed State.
+	Record = core.Record
+)
+
+// Re-exported strategy constants and fault kinds.
+const (
+	// StrategyAsync is asynchronous recovery blocks (Section 2).
+	StrategyAsync = core.StrategyAsync
+	// StrategyPRP is pseudo recovery points (Section 4).
+	StrategyPRP = core.StrategyPRP
+	// FaultLocal is an error local to the failing process.
+	FaultLocal = core.FaultLocal
+	// FaultPropagated is an error that arrived from another process.
+	FaultPropagated = core.FaultPropagated
+)
+
+// NewSystem assembles a runtime system (see core.New).
+func NewSystem(cfg Config, programs []Program, initial []State) (*System, error) {
+	return core.New(cfg, programs, initial)
+}
+
+// NewBuilder starts a process program.
+func NewBuilder() *Builder { return core.NewBuilder() }
+
+// NewFaultPlan bundles scheduled faults.
+func NewFaultPlan(faults ...Fault) *FaultPlan { return core.NewFaultPlan(faults...) }
+
+// NewATPlan bundles scheduled acceptance-test failures.
+func NewATPlan(overrides ...ATOverride) *ATPlan { return core.NewATPlan(overrides...) }
+
+// ---- Analytic layer (internal/rbmodel, internal/synch) ----
+
+// Aliases re-exporting the stochastic models.
+type (
+	// Params is the (μ_i, λ_ij) parameterization of Section 2.1.
+	Params = rbmodel.Params
+	// AsyncModel is the full 2^n+1-state chain of Figure 2.
+	AsyncModel = rbmodel.AsyncModel
+	// SymmetricModel is the lumped chain of Figure 3.
+	SymmetricModel = rbmodel.SymmetricModel
+	// SplitChain is the Y_d chain of Figure 4.
+	SplitChain = rbmodel.SplitChain
+)
+
+// NewAsyncModel builds the full asynchronous-RB chain.
+func NewAsyncModel(p Params) (*AsyncModel, error) { return rbmodel.NewAsync(p) }
+
+// NewSymmetricModel builds the lumped chain for identical processes.
+func NewSymmetricModel(n int, mu, lambda float64) (*SymmetricModel, error) {
+	return rbmodel.NewSymmetric(n, mu, lambda)
+}
+
+// NewSplitChain builds Y_d for the given target process.
+func NewSplitChain(p Params, target int) (*SplitChain, error) {
+	return rbmodel.NewSplitChain(p, target)
+}
+
+// UniformParams builds identical-process parameters (μ, λ for all).
+func UniformParams(n int, mu, lambda float64) Params { return rbmodel.Uniform(n, mu, lambda) }
+
+// ThreeProcessParams builds the paper's n = 3 parameterization from
+// (μ1, μ2, μ3) and (λ12, λ23, λ13).
+func ThreeProcessParams(mu1, mu2, mu3, l12, l23, l13 float64) Params {
+	return rbmodel.ThreeProcess(mu1, mu2, mu3, l12, l23, l13)
+}
+
+// SyncMeanLoss returns the Section 3 mean computation loss
+// CL = n·E[Z] − Σ 1/μ_i for one synchronization.
+func SyncMeanLoss(mu []float64) (float64, error) { return synch.MeanLoss(mu) }
+
+// SyncMeanWait returns E[Z] = E[max_i Exp(μ_i)], the commitment wait.
+func SyncMeanWait(mu []float64) (float64, error) { return synch.MeanMax(mu) }
+
+// OptimalSyncInterval answers the question the paper poses in Section 1 —
+// "the optimal interval between two successive synchronizations" — under a
+// renewal-reward model with system error rate theta: it returns the request
+// interval minimizing the long-run fraction of computing power lost to
+// commitment waits plus expected rollback, and that minimal fraction.
+func OptimalSyncInterval(mu []float64, theta float64) (tau, overhead float64, err error) {
+	return synch.OptimalInterval(mu, theta)
+}
+
+// SyncOverheadRate evaluates the same cost model at a given interval.
+func SyncOverheadRate(mu []float64, tau, theta float64) (float64, error) {
+	return synch.OverheadRate(mu, tau, theta)
+}
+
+// ---- Simulation layer (internal/sim) ----
+
+// Aliases re-exporting the discrete-event simulators.
+type (
+	// AsyncOptions configures SimulateAsync.
+	AsyncOptions = sim.AsyncOptions
+	// AsyncResult is SimulateAsync's output.
+	AsyncResult = sim.AsyncResult
+	// SyncOptions configures SimulateSync.
+	SyncOptions = sim.SyncOptions
+	// PRPOptions configures SimulatePRP.
+	PRPOptions = sim.PRPOptions
+)
+
+// SimulateAsync estimates E[X] and E[L_i] by discrete-event simulation.
+func SimulateAsync(p Params, opt AsyncOptions) (*AsyncResult, error) {
+	return sim.SimulateAsync(p, opt)
+}
+
+// ---- Experiment layer (internal/expt) ----
+
+// Aliases re-exporting the experiment drivers.
+type (
+	// Sizes scales the Monte Carlo effort of experiments.
+	Sizes = expt.Sizes
+	// Table1Result reproduces Table 1.
+	Table1Result = expt.Table1Result
+	// Fig5Result reproduces Figure 5.
+	Fig5Result = expt.Fig5Result
+	// Fig6Result reproduces Figure 6.
+	Fig6Result = expt.Fig6Result
+	// SyncResult reproduces Section 3.
+	SyncResult = expt.SyncResult
+	// PRPResult reproduces Section 4.
+	PRPResult = expt.PRPResult
+	// TraceResult is a runtime history-diagram reproduction (Figs 1, 7, 8).
+	TraceResult = expt.TraceResult
+)
+
+// DefaultSizes is the publication-quality experiment configuration.
+func DefaultSizes() Sizes { return expt.DefaultSizes() }
+
+// QuickSizes is a fast experiment configuration for smoke tests.
+func QuickSizes() Sizes { return expt.QuickSizes() }
+
+// Table1 regenerates Table 1 (exact + split-chain + simulation).
+func Table1(sz Sizes) (*Table1Result, error) { return expt.Table1(sz) }
+
+// Figure5 regenerates the Figure 5 sweep of E[X] against n.
+func Figure5(ns []int, rhos []float64, exactUpTo int, sz Sizes) (*Fig5Result, error) {
+	return expt.Figure5(ns, rhos, exactUpTo, sz)
+}
+
+// Figure6 regenerates the Figure 6 density curves.
+func Figure6(points int, tmax float64, sz Sizes) (*Fig6Result, error) {
+	return expt.Figure6(points, tmax, sz)
+}
+
+// Section3 regenerates the synchronization-loss analysis.
+func Section3(sz Sizes) (*SyncResult, error) { return expt.Section3(sz) }
+
+// Section4 regenerates the PRP overhead/rollback analysis.
+func Section4(ns []int, saveCost, lambda float64, sz Sizes) (*PRPResult, error) {
+	return expt.Section4(ns, saveCost, lambda, sz)
+}
+
+// Figure1Domino reproduces the Figure 1 rollback-propagation scenario on the
+// runtime and renders its history diagram.
+func Figure1Domino(seed int64) (*TraceResult, error) { return expt.Figure1Domino(seed) }
+
+// Figure7SyncTrace reproduces the Figure 7 synchronization scenario.
+func Figure7SyncTrace(seed int64) (*TraceResult, error) { return expt.Figure7SyncTrace(seed) }
+
+// Figure8PRPTrace reproduces the Figure 8 PRP scenario.
+func Figure8PRPTrace(seed int64) (*TraceResult, error) { return expt.Figure8PRPTrace(seed) }
+
+// ModelGraphs exports the Figure 2–4 model structure as Graphviz DOT.
+func ModelGraphs() (*expt.GraphsResult, error) { return expt.ModelGraphs() }
