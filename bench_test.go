@@ -1,6 +1,7 @@
 package recoveryblocks
 
 import (
+	"runtime"
 	"testing"
 
 	"recoveryblocks/internal/rbmodel"
@@ -152,6 +153,91 @@ func BenchmarkSection4PRPOverhead(b *testing.B) {
 		if _, err := Section4([]int{2, 3, 4}, 0.05, 2.0, sz); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---- Parallel Monte Carlo engine: sequential vs sharded ----
+
+// workerCounts are the pool sizes the scaling benchmarks sweep: sequential,
+// a couple of fixed intermediate sizes, and the full machine. Results are
+// bit-identical across all of them (see internal/mc); only time may differ.
+func workerCounts() []int {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// BenchmarkTable1Workers regenerates Table 1 at DefaultSizes' Monte Carlo
+// effort per worker count — the acceptance benchmark for the sharded
+// engine: at 4+ cores the sharded run must beat workers=1 by ≥ 2×.
+func BenchmarkTable1Workers(b *testing.B) {
+	sz := DefaultSizes()
+	for _, w := range workerCounts() {
+		sz.Workers = w
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := Table1(sz)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Rows) != 5 {
+					b.Fatal("wrong row count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateAsyncWorkers measures the DES throughput scaling of a
+// single SimulateAsync call across pool sizes.
+func BenchmarkSimulateAsyncWorkers(b *testing.B) {
+	p := rbmodel.Uniform(3, 1, 1)
+	for _, w := range workerCounts() {
+		w := w
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r, err := sim.SimulateAsync(p, sim.AsyncOptions{Intervals: 100000, Seed: 1983, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r.Intervals != 100000 {
+					b.Fatal("wrong interval count")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulatePRPWorkers measures the PRP probe-stream scaling.
+func BenchmarkSimulatePRPWorkers(b *testing.B) {
+	p := rbmodel.Uniform(4, 1, 2)
+	for _, w := range workerCounts() {
+		w := w
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := sim.PRPOptions{Probes: 50000, Seed: 1983, Warmup: 100, PLocal: 0.5, Workers: w}
+				if _, err := sim.SimulatePRP(p, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulateLossWorkers measures the Section 3 Monte Carlo scaling.
+func BenchmarkSimulateLossWorkers(b *testing.B) {
+	mu := []float64{1.5, 1.0, 0.5}
+	for _, w := range workerCounts() {
+		w := w
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := synch.SimulateLossWorkers(mu, 500000, 1983, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

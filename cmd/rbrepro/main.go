@@ -12,9 +12,12 @@
 //	rbrepro domino                      # Figure 1 scenario on the runtime
 //	rbrepro trace -scheme sync|prp      # Figures 7 / 8 runtime traces
 //	rbrepro graph -model full|symmetric|split   # Figures 2-4 as DOT
+//	rbrepro plan                        # design aids beyond the paper
 //	rbrepro all                         # everything above
 //
-// Global flags: -quick (small Monte Carlo sizes), -seed N.
+// Global flags: -quick (small Monte Carlo sizes), -seed N, -workers N
+// (Monte Carlo worker-pool size; 0 = all CPUs; results are bit-identical
+// for every value).
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	quick := fs.Bool("quick", false, "use small Monte Carlo sizes")
 	seed := fs.Int64("seed", 1983, "random seed")
+	workers := fs.Int("workers", 0, "Monte Carlo worker goroutines (0 = all CPUs; never changes results)")
 	rhos := fs.String("rhos", "1,2,4", "comma-separated rho values (fig5)")
 	maxn := fs.Int("maxn", 10, "largest process count (fig5)")
 	exact := fs.Int("exact", 8, "solve the full model exactly up to this n (fig5)")
@@ -53,6 +57,7 @@ func main() {
 		sz = rb.QuickSizes()
 	}
 	sz.Seed = *seed
+	sz.Workers = *workers
 
 	var run func(string) error
 	run = func(name string) error {
@@ -201,7 +206,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `rbrepro — reproduce Shin & Lee (1983) tables and figures
-commands: table1 fig5 fig6 sync prp domino trace graph all
-flags:    -quick -seed N; fig5: -rhos -maxn -exact; fig6: -points -tmax;
+commands: table1 fig5 fig6 sync prp domino trace graph plan all
+flags:    -quick -seed N -workers N; fig5: -rhos -maxn -exact; fig6: -points -tmax;
           prp: -tr -lambda; trace: -scheme sync|prp; graph: -model full|symmetric|split`)
 }

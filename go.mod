@@ -1,0 +1,3 @@
+module recoveryblocks
+
+go 1.24

@@ -251,3 +251,54 @@ func TestTraceRenderShapes(t *testing.T) {
 		t.Fatalf("header wrong: %q", lines[0])
 	}
 }
+
+func TestTable1BitIdenticalAcrossWorkers(t *testing.T) {
+	sz := QuickSizes()
+	sz.Workers = 1
+	base, err := Table1(sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz.Workers = 8
+	got, err := Table1(sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Rows {
+		b, g := base.Rows[i], got.Rows[i]
+		if g.SimEX != b.SimEX || g.SimEXCI != b.SimEXCI || g.SimEL != b.SimEL {
+			t.Fatalf("row %s: workers=8 simulation differs from workers=1", b.Name)
+		}
+	}
+	if base.Format() != got.Format() {
+		t.Fatal("formatted Table 1 differs across worker counts")
+	}
+}
+
+func TestSection3and4BitIdenticalAcrossWorkers(t *testing.T) {
+	sz := QuickSizes()
+	sz.Workers = 1
+	s3a, err := Section3(sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4a, err := Section4([]int{2, 3}, 0.05, 2.0, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sz.Workers = 8
+	s3b, err := Section3(sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4b, err := Section4([]int{2, 3}, 0.05, 2.0, sz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3a.Format() != s3b.Format() {
+		t.Fatal("Section 3 differs across worker counts")
+	}
+	if s4a.Format() != s4b.Format() {
+		t.Fatal("Section 4 differs across worker counts")
+	}
+}

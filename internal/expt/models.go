@@ -27,9 +27,22 @@ type Sizes struct {
 	SyncReps        int
 	PRPProbes       int
 	Seed            int64
+	// Workers sets the Monte Carlo worker-pool size used by every
+	// simulation an experiment runs: n > 0 means exactly n goroutines,
+	// anything else means runtime.NumCPU().
+	//
+	// The RNG-stream contract (see internal/mc and internal/dist): each
+	// experiment shards its replications into fixed-size blocks, block b of
+	// a simulation seeded s draws from dist.Substream(s, b), and the
+	// per-block statistics are merged in block order. The decomposition
+	// and the substreams depend only on (Seed, replication count), never on
+	// Workers, so for a fixed Seed every experiment result is bit-identical
+	// across worker counts — Workers trades wall-clock time only.
+	Workers int
 }
 
-// DefaultSizes is the publication-quality configuration.
+// DefaultSizes is the publication-quality configuration. Workers is 0, so
+// experiments use all CPUs.
 func DefaultSizes() Sizes {
 	return Sizes{
 		Table1Intervals: 200000,
@@ -42,6 +55,7 @@ func DefaultSizes() Sizes {
 }
 
 // QuickSizes is a fast configuration for benchmarks and smoke tests.
+// Workers is 0, so experiments use all CPUs.
 func QuickSizes() Sizes {
 	return Sizes{
 		Table1Intervals: 5000,
@@ -115,6 +129,7 @@ func Table1(sz Sizes) (*Table1Result, error) {
 		sr, err := sim.SimulateAsync(c.Params, sim.AsyncOptions{
 			Intervals: sz.Table1Intervals,
 			Seed:      sz.Seed + int64(ci),
+			Workers:   sz.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -210,6 +225,7 @@ func Figure5(ns []int, rhos []float64, exactUpTo int, sz Sizes) (*Fig5Result, er
 			if sz.Fig5Intervals > 0 && n <= exactUpTo {
 				sr, err := sim.SimulateAsync(rbmodel.Uniform(n, 1, lambda), sim.AsyncOptions{
 					Intervals: sz.Fig5Intervals, Seed: sz.Seed + int64(100*n),
+					Workers: sz.Workers,
 				})
 				if err != nil {
 					return nil, err
@@ -290,6 +306,7 @@ func Figure6(points int, tmax float64, sz Sizes) (*Fig6Result, error) {
 			HistMax:     tmax,
 			HistBins:    points - 1,
 			KeepSamples: true,
+			Workers:     sz.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -436,7 +453,7 @@ func Section3(sz Sizes) (*SyncResult, error) {
 		if row.CLInt, err = synch.MeanLossIntegral(mu); err != nil {
 			return nil, err
 		}
-		loss, _, err := synch.SimulateLoss(mu, sz.SyncReps, sz.Seed)
+		loss, _, err := synch.SimulateLossWorkers(mu, sz.SyncReps, sz.Seed, sz.Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -539,10 +556,11 @@ func Section4(ns []int, saveCost, lambda float64, sz Sizes) (*PRPResult, error) 
 			row.AnalyticAsyncAge = m2 / (2 * m1)
 		}
 		sr, err := sim.SimulatePRP(p, sim.PRPOptions{
-			Probes: sz.PRPProbes,
-			Seed:   sz.Seed + int64(n),
-			Warmup: 100,
-			PLocal: 0.5,
+			Probes:  sz.PRPProbes,
+			Seed:    sz.Seed + int64(n),
+			Warmup:  100,
+			PLocal:  0.5,
+			Workers: sz.Workers,
 		})
 		if err != nil {
 			return nil, err

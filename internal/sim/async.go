@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/mc"
 	"recoveryblocks/internal/rbmodel"
 	"recoveryblocks/internal/stats"
 )
@@ -26,86 +27,106 @@ type AsyncOptions struct {
 	HistMax     float64 // histogram range [0, HistMax); 0 disables
 	HistBins    int     // histogram bins (when HistMax > 0)
 	KeepSamples bool    // retain raw X samples
+	// Workers sets the Monte Carlo worker-pool size: n > 0 means exactly n
+	// goroutines, anything else means runtime.NumCPU(). Results are
+	// bit-identical for every value — replications are sharded into fixed
+	// blocks seeded by dist.Substream(Seed, block), so the worker count
+	// changes only wall-clock time (see internal/mc).
+	Workers int
 }
 
-// SimulateAsync runs the event process of Section 2.1 directly — Poisson
-// recovery points of rate μ_i and pairwise interactions of rate λ_ij — and
-// detects recovery lines with the paper's last-action rule: a line forms at
-// the moment every process's most recent event is a recovery point. It is an
-// estimator of exactly the quantity the paper's Markov chain computes, built
-// without reference to that chain, so the two can validate each other.
-func SimulateAsync(p rbmodel.Params, opt AsyncOptions) (*AsyncResult, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if opt.Intervals < 1 {
-		return nil, errors.New("sim: Intervals must be ≥ 1")
-	}
-	n := p.N()
-	res := &AsyncResult{L: make([]stats.Welford, n)}
-	if opt.HistMax > 0 {
-		bins := opt.HistBins
-		if bins <= 0 {
-			bins = 50
-		}
-		res.Hist = stats.NewHistogram(0, opt.HistMax, bins)
-	}
+// eventCats is the shared, read-only category table of the superposed
+// Poisson process: n RP streams and one stream per interacting pair. Total
+// rate g; each event picks its category with probability rate/g
+// (superposition theorem), which is statistically identical to maintaining
+// independent exponential clocks.
+type eventCats struct {
+	pairs   []pairIdx
+	weights []float64
+	g       float64
+}
 
-	// Event categories of the superposed Poisson process: n RP streams and
-	// one stream per interacting pair. Total rate G; each event picks its
-	// category with probability rate/G (superposition theorem), which is
-	// statistically identical to maintaining independent exponential clocks.
-	type pair struct{ i, j int }
-	var pairs []pair
-	weights := make([]float64, 0, n+n*(n-1)/2)
+type pairIdx struct{ i, j int }
+
+// newEventCats builds the category table, optionally reserving room for
+// extra trailing categories (the PRP simulator appends a probe stream).
+func newEventCats(p rbmodel.Params, extra int) eventCats {
+	n := p.N()
+	c := eventCats{weights: make([]float64, 0, n+n*(n-1)/2+extra)}
 	for i := 0; i < n; i++ {
-		weights = append(weights, p.Mu[i])
+		c.weights = append(c.weights, p.Mu[i])
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if p.Lambda[i][j] > 0 {
-				pairs = append(pairs, pair{i, j})
-				weights = append(weights, p.Lambda[i][j])
+				c.pairs = append(c.pairs, pairIdx{i, j})
+				c.weights = append(c.weights, p.Lambda[i][j])
 			}
 		}
 	}
-	g := 0.0
-	for _, w := range weights {
-		g += w
+	for _, w := range c.weights {
+		c.g += w
 	}
-	if g <= 0 {
-		return nil, errors.New("sim: all event rates are zero")
-	}
+	return c
+}
 
-	rng := dist.NewStream(opt.Seed)
+// asyncBlock is the per-block accumulator of SimulateAsync.
+type asyncBlock struct {
+	x       stats.Welford
+	l       []stats.Welford
+	hist    *stats.Histogram
+	samples []float64
+}
+
+// histBins resolves the histogram bin count (0 means the 50-bin default).
+// SimulateAsync and its blocks must build identically shaped histograms or
+// the merge fails, so both go through this one resolution.
+func (opt AsyncOptions) histBins() int {
+	if opt.HistBins > 0 {
+		return opt.HistBins
+	}
+	return 50
+}
+
+// simulateAsyncBlock observes `intervals` consecutive recovery-line
+// intervals with the given stream. Consecutive intervals are iid (the event
+// process restarts statistically at every line — memorylessness), so blocks
+// simulated from independent substreams are distributed identically to one
+// long run.
+func simulateAsyncBlock(cats eventCats, n, intervals int, rng *dist.Stream, opt AsyncOptions) *asyncBlock {
+	blk := &asyncBlock{l: make([]stats.Welford, n)}
+	if opt.HistMax > 0 {
+		blk.hist = stats.NewHistogram(0, opt.HistMax, opt.histBins())
+	}
 	ones := (1 << n) - 1
 	mask := ones // a recovery line has just formed
 	atLine := true
 	clock := 0.0
 	lineTime := 0.0
 	counts := make([]int, n)
+	done := 0
 
-	for res.Intervals < opt.Intervals {
-		clock += rng.Exp(g)
-		k := rng.Choice(weights)
+	for done < intervals {
+		clock += rng.Exp(cats.g)
+		k := rng.ChoiceTotal(cats.weights, cats.g)
 		if k < n { // recovery point of process k
 			counts[k]++
 			if atLine || mask|1<<k == ones {
 				// Entry rule R4, or rule R1 completing the vector: the
 				// (r+1)-th recovery line forms now.
 				x := clock - lineTime
-				res.X.Add(x)
-				if res.Hist != nil {
-					res.Hist.Add(x)
+				blk.x.Add(x)
+				if blk.hist != nil {
+					blk.hist.Add(x)
 				}
 				if opt.KeepSamples {
-					res.Samples = append(res.Samples, x)
+					blk.samples = append(blk.samples, x)
 				}
 				for i := range counts {
-					res.L[i].Add(float64(counts[i]))
+					blk.l[i].Add(float64(counts[i]))
 					counts[i] = 0
 				}
-				res.Intervals++
+				done++
 				lineTime = clock
 				mask = ones
 				atLine = true
@@ -115,7 +136,7 @@ func SimulateAsync(p rbmodel.Params, opt AsyncOptions) (*AsyncResult, error) {
 			continue
 		}
 		// Interaction event between pairs[k-n].
-		pr := pairs[k-n]
+		pr := cats.pairs[k-n]
 		bi, bj := mask&(1<<pr.i) != 0, mask&(1<<pr.j) != 0
 		switch {
 		case bi && bj:
@@ -129,6 +150,54 @@ func SimulateAsync(p rbmodel.Params, opt AsyncOptions) (*AsyncResult, error) {
 			atLine = false
 		}
 	}
+	return blk
+}
+
+// SimulateAsync runs the event process of Section 2.1 directly — Poisson
+// recovery points of rate μ_i and pairwise interactions of rate λ_ij — and
+// detects recovery lines with the paper's last-action rule: a line forms at
+// the moment every process's most recent event is a recovery point. It is an
+// estimator of exactly the quantity the paper's Markov chain computes, built
+// without reference to that chain, so the two can validate each other.
+//
+// Replications are sharded across a worker pool (see AsyncOptions.Workers);
+// for a fixed Seed the result is bit-identical for every worker count.
+func SimulateAsync(p rbmodel.Params, opt AsyncOptions) (*AsyncResult, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Intervals < 1 {
+		return nil, errors.New("sim: Intervals must be ≥ 1")
+	}
+	n := p.N()
+	cats := newEventCats(p, 0)
+	if cats.g <= 0 {
+		return nil, errors.New("sim: all event rates are zero")
+	}
+
+	blocks := mc.Run(opt.Intervals, mc.DefaultBlockSize, opt.Workers, func(b mc.Block) *asyncBlock {
+		return simulateAsyncBlock(cats, n, b.N(), dist.Substream(opt.Seed, b.Index), opt)
+	})
+
+	res := &AsyncResult{L: make([]stats.Welford, n)}
+	if opt.HistMax > 0 {
+		res.Hist = stats.NewHistogram(0, opt.HistMax, opt.histBins())
+	}
+	for _, blk := range blocks {
+		res.X.Merge(blk.x)
+		for i := range res.L {
+			res.L[i].Merge(blk.l[i])
+		}
+		if res.Hist != nil {
+			if err := res.Hist.Merge(blk.hist); err != nil {
+				return nil, err
+			}
+		}
+		if opt.KeepSamples {
+			res.Samples = append(res.Samples, blk.samples...)
+		}
+	}
+	res.Intervals = res.X.N()
 	return res, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/mc"
 	"recoveryblocks/internal/rbmodel"
 	"recoveryblocks/internal/stats"
 )
@@ -15,6 +16,10 @@ type PRPOptions struct {
 	Seed   int64
 	Warmup float64 // simulated time to discard before probing (lets RP history fill)
 	PLocal float64 // probability an error is local to the failing process (vs propagated)
+	// Workers sets the Monte Carlo worker-pool size: n > 0 means exactly n
+	// goroutines, anything else means runtime.NumCPU(). Results are
+	// bit-identical for every value (see internal/mc).
+	Workers int
 }
 
 // PRPResult compares rollback distances at error time under the two schemes
@@ -45,6 +50,17 @@ type PRPResult struct {
 // means are directly comparable to the analytic values: E[max_i Exp(μ_i)]
 // for propagated errors and E[X²]/(2·E[X]) for the renewal age of the
 // recovery-line process.
+//
+// Probes are sharded across a worker pool (see PRPOptions.Workers); each
+// block replays its own event process from t = 0 and Warmup applies to each
+// block, so with Warmup comfortably above the time to the first recovery
+// line (the experiment drivers use 100+ at μ = 1) every block samples the
+// stationary process and the sharded estimate matches one long run. With
+// Warmup too small to cover that startup transient, the pre-first-line
+// state is sampled once per block rather than once per run, inflating
+// DominoFraction and the async distance accordingly — the same estimator
+// bias the sequential version had, amplified by the block count. For a
+// fixed Seed the result is bit-identical for every worker count.
 func SimulatePRP(p rbmodel.Params, opt PRPOptions) (*PRPResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -60,80 +76,79 @@ func SimulatePRP(p rbmodel.Params, opt PRPOptions) (*PRPResult, error) {
 	// the process. One probe per mean recovery-line interval is a reasonable
 	// density that keeps probes nearly independent.
 	probeRate := p.SumMu() / float64(n)
+	cats := newEventCats(p, 1)
+	probeIdx := len(cats.weights)
+	cats.weights = append(cats.weights, probeRate)
+	cats.g += probeRate
 
-	type pair struct{ i, j int }
-	var pairs []pair
-	weights := make([]float64, 0, n+n*(n-1)/2+1)
-	for i := 0; i < n; i++ {
-		weights = append(weights, p.Mu[i])
+	type prpBlock struct {
+		local, propagated, async stats.Welford
+		domino, probes           int
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if p.Lambda[i][j] > 0 {
-				pairs = append(pairs, pair{i, j})
-				weights = append(weights, p.Lambda[i][j])
-			}
-		}
-	}
-	probeIdx := len(weights)
-	weights = append(weights, probeRate)
-	g := 0.0
-	for _, w := range weights {
-		g += w
-	}
+	blocks := mc.Run(opt.Probes, mc.DefaultBlockSize, opt.Workers, func(b mc.Block) *prpBlock {
+		rng := dist.Substream(opt.Seed, b.Index)
+		blk := &prpBlock{}
+		lastRP := make([]float64, n) // most recent RP time per process (0 = process start)
+		ones := (1 << n) - 1
+		mask := ones
+		atLine := true
+		lastLine := 0.0
+		clock := 0.0
 
-	rng := dist.NewStream(opt.Seed)
-	res := &PRPResult{}
-	lastRP := make([]float64, n) // most recent RP time per process (0 = process start)
-	ones := (1 << n) - 1
-	mask := ones
-	atLine := true
-	lastLine := 0.0
-	clock := 0.0
-	domino := 0
-
-	for res.Probes < opt.Probes {
-		clock += rng.Exp(g)
-		k := rng.Choice(weights)
-		switch {
-		case k < n: // recovery point of process k (PRPs implanted in the others)
-			lastRP[k] = clock
-			if atLine || mask|1<<k == ones {
-				lastLine = clock
-				mask = ones
-				atLine = true
-			} else {
-				mask |= 1 << k
-			}
-		case k < probeIdx: // interaction
-			pr := pairs[k-n]
-			bi, bj := mask&(1<<pr.i) != 0, mask&(1<<pr.j) != 0
+		for blk.probes < b.N() {
+			clock += rng.Exp(cats.g)
+			k := rng.ChoiceTotal(cats.weights, cats.g)
 			switch {
-			case bi && bj:
-				mask &^= 1<<pr.i | 1<<pr.j
-			case bi:
-				mask &^= 1 << pr.i
-			case bj:
-				mask &^= 1 << pr.j
+			case k < n: // recovery point of process k (PRPs implanted in the others)
+				lastRP[k] = clock
+				if atLine || mask|1<<k == ones {
+					lastLine = clock
+					mask = ones
+					atLine = true
+				} else {
+					mask |= 1 << k
+				}
+			case k < probeIdx: // interaction
+				pr := cats.pairs[k-n]
+				bi, bj := mask&(1<<pr.i) != 0, mask&(1<<pr.j) != 0
+				switch {
+				case bi && bj:
+					mask &^= 1<<pr.i | 1<<pr.j
+				case bi:
+					mask &^= 1 << pr.i
+				case bj:
+					mask &^= 1 << pr.j
+				}
+				atLine = false
+			default: // error probe
+				if clock < opt.Warmup {
+					continue
+				}
+				victim := rng.Intn(n)
+				if rng.Bernoulli(opt.PLocal) {
+					blk.local.Add(clock - lastRP[victim])
+				} else {
+					anchor := rollbackPointerFixpoint(lastRP, victim)
+					blk.propagated.Add(clock - anchor)
+				}
+				blk.async.Add(clock - lastLine)
+				if lastLine == 0 {
+					blk.domino++
+				}
+				blk.probes++
 			}
-			atLine = false
-		default: // error probe
-			if clock < opt.Warmup {
-				continue
-			}
-			victim := rng.Intn(n)
-			if rng.Bernoulli(opt.PLocal) {
-				res.LocalDistance.Add(clock - lastRP[victim])
-			} else {
-				anchor := rollbackPointerFixpoint(lastRP, victim)
-				res.PropagatedDistance.Add(clock - anchor)
-			}
-			res.AsyncDistance.Add(clock - lastLine)
-			if lastLine == 0 {
-				domino++
-			}
-			res.Probes++
 		}
+		return blk
+	})
+
+	res := &PRPResult{}
+	domino := 0
+	for _, blk := range blocks {
+		res.LocalDistance.Merge(blk.local)
+		res.PropagatedDistance.Merge(blk.propagated)
+		res.AsyncDistance.Merge(blk.async)
+		domino += blk.domino
+		res.Probes += blk.probes
 	}
 	res.DominoFraction = float64(domino) / float64(res.Probes)
 	return res, nil

@@ -393,3 +393,83 @@ func TestSimulatePRPValidation(t *testing.T) {
 		t.Fatal("accepted PLocal > 1")
 	}
 }
+
+// --- parallel engine determinism ---
+
+func TestSimulateAsyncBitIdenticalAcrossWorkers(t *testing.T) {
+	p := rbmodel.Table1Cases()[1].Params
+	base, err := SimulateAsync(p, AsyncOptions{
+		Intervals: 6000, Seed: 1983, HistMax: 2, HistBins: 40, KeepSamples: true, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 0} {
+		got, err := SimulateAsync(p, AsyncOptions{
+			Intervals: 6000, Seed: 1983, HistMax: 2, HistBins: 40, KeepSamples: true, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.X.Mean() != base.X.Mean() || got.X.Variance() != base.X.Variance() {
+			t.Fatalf("workers=%d: X moments differ", workers)
+		}
+		for i := range base.L {
+			if got.L[i].Mean() != base.L[i].Mean() {
+				t.Fatalf("workers=%d: L%d differs", workers, i+1)
+			}
+		}
+		for i := range base.Hist.Counts {
+			if got.Hist.Counts[i] != base.Hist.Counts[i] {
+				t.Fatalf("workers=%d: histogram bin %d differs", workers, i)
+			}
+		}
+		if len(got.Samples) != len(base.Samples) {
+			t.Fatalf("workers=%d: sample counts differ", workers)
+		}
+		for i := range base.Samples {
+			if got.Samples[i] != base.Samples[i] {
+				t.Fatalf("workers=%d: sample %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestSimulateSyncBitIdenticalAcrossWorkers(t *testing.T) {
+	mu := []float64{1.5, 1.0, 0.5}
+	for _, strat := range []SyncStrategy{SyncConstantInterval, SyncElapsedSinceLine, SyncStatesSaved} {
+		base, err := SimulateSync(mu, SyncOptions{Strategy: strat, Threshold: 3, Cycles: 5000, Seed: 7, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SimulateSync(mu, SyncOptions{Strategy: strat, Threshold: 3, Cycles: 5000, Seed: 7, Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Loss.Mean() != base.Loss.Mean() || got.Z.Variance() != base.Z.Variance() ||
+			got.CycleLength.Mean() != base.CycleLength.Mean() || got.Cycles != base.Cycles {
+			t.Fatalf("%v: workers=8 differs from workers=1", strat)
+		}
+	}
+}
+
+func TestSimulatePRPBitIdenticalAcrossWorkers(t *testing.T) {
+	p := rbmodel.Uniform(3, 1, 1)
+	opt := PRPOptions{Probes: 5000, Seed: 17, Warmup: 50, PLocal: 0.5}
+	opt.Workers = 1
+	base, err := SimulatePRP(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	got, err := SimulatePRP(p, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LocalDistance.Mean() != base.LocalDistance.Mean() ||
+		got.PropagatedDistance.Mean() != base.PropagatedDistance.Mean() ||
+		got.AsyncDistance.Variance() != base.AsyncDistance.Variance() ||
+		got.DominoFraction != base.DominoFraction || got.Probes != base.Probes {
+		t.Fatal("workers=8 differs from workers=1")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/mc"
 	"recoveryblocks/internal/stats"
 )
 
@@ -45,6 +46,10 @@ type SyncOptions struct {
 	Threshold float64 // interval (strategies 1-2) or state count (strategy 3)
 	Cycles    int     // synchronization cycles to simulate
 	Seed      int64
+	// Workers sets the Monte Carlo worker-pool size: n > 0 means exactly n
+	// goroutines, anything else means runtime.NumCPU(). Results are
+	// bit-identical for every value (see internal/mc).
+	Workers int
 }
 
 // SyncResult aggregates the synchronized scheme's measured costs.
@@ -62,6 +67,16 @@ type SyncResult struct {
 // each process runs to its next acceptance test — by memorylessness an
 // Exp(μ_i) residual — sets its ready flag, and waits for all commitments;
 // the recovery line forms at the test line, costing CL in waiting time.
+//
+// Cycles are sharded across a worker pool (see SyncOptions.Workers); each
+// block restarts the timeline at its own t = 0, exactly as the whole
+// simulation does. Loss and Z are iid per cycle (memorylessness), so they
+// are unaffected by sharding. Under SyncConstantInterval, CycleLength and
+// StatesSaved carry state across cycles (the request offset depends on the
+// previous cycle's Z), so the startup transient — first request at exactly
+// Threshold — is sampled once per block rather than once per run; the other
+// two strategies renew every cycle and have no such transient. For a fixed
+// Seed the result is bit-identical for every worker count.
 func SimulateSync(mu []float64, opt SyncOptions) (*SyncResult, error) {
 	if len(mu) == 0 {
 		return nil, errors.New("sim: need at least one process")
@@ -77,7 +92,27 @@ func SimulateSync(mu []float64, opt SyncOptions) (*SyncResult, error) {
 	if opt.Threshold <= 0 {
 		return nil, errors.New("sim: Threshold must be positive")
 	}
-	rng := dist.NewStream(opt.Seed)
+	if opt.Strategy != SyncConstantInterval && opt.Strategy != SyncElapsedSinceLine && opt.Strategy != SyncStatesSaved {
+		return nil, fmt.Errorf("sim: unknown strategy %v", opt.Strategy)
+	}
+
+	blocks := mc.Run(opt.Cycles, mc.DefaultBlockSize, opt.Workers, func(b mc.Block) *SyncResult {
+		return simulateSyncBlock(mu, opt, b.N(), dist.Substream(opt.Seed, b.Index))
+	})
+	res := &SyncResult{}
+	for _, blk := range blocks {
+		res.Loss.Merge(blk.Loss)
+		res.Z.Merge(blk.Z)
+		res.CycleLength.Merge(blk.CycleLength)
+		res.StatesSaved.Merge(blk.StatesSaved)
+		res.Cycles += blk.Cycles
+	}
+	return res, nil
+}
+
+// simulateSyncBlock runs `cycles` synchronization cycles from a fresh
+// timeline with the given stream.
+func simulateSyncBlock(mu []float64, opt SyncOptions, cycles int, rng *dist.Stream) *SyncResult {
 	res := &SyncResult{}
 	n := len(mu)
 	sumMu := 0.0
@@ -87,7 +122,7 @@ func SimulateSync(mu []float64, opt SyncOptions) (*SyncResult, error) {
 
 	lineTime := 0.0
 	requestTime := 0.0
-	for c := 0; c < opt.Cycles; c++ {
+	for c := 0; c < cycles; c++ {
 		// Decide when this cycle's synchronization request is issued.
 		var reqAt float64
 		switch opt.Strategy {
@@ -114,8 +149,6 @@ func SimulateSync(mu []float64, opt SyncOptions) (*SyncResult, error) {
 			for i := 0; i < k; i++ {
 				reqAt += rng.Exp(sumMu)
 			}
-		default:
-			return nil, fmt.Errorf("sim: unknown strategy %v", opt.Strategy)
 		}
 		requestTime = reqAt
 
@@ -148,5 +181,5 @@ func SimulateSync(mu []float64, opt SyncOptions) (*SyncResult, error) {
 		lineTime = newLine
 		res.Cycles++
 	}
-	return res, nil
+	return res
 }

@@ -42,6 +42,28 @@ func (w *Welford) Variance() float64 {
 // StdDev returns the sample standard deviation.
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
+// Merge folds another accumulator into w using the parallel update of Chan,
+// Golub & LeVeque, so that splitting a sample into chunks, accumulating each
+// chunk separately and merging gives the same moments as one sequential
+// pass (up to float round-off). Merging in a fixed chunk order makes the
+// result fully deterministic — the property the parallel Monte Carlo engine
+// in internal/mc relies on.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n1, n2 := float64(w.n), float64(o.n)
+	d := o.mean - w.mean
+	n := n1 + n2
+	w.mean += d * n2 / n
+	w.m2 += o.m2 + d*d*n1*n2/n
+	w.n += o.n
+}
+
 // StdErr returns the standard error of the mean.
 func (w *Welford) StdErr() float64 {
 	if w.n == 0 {
@@ -126,6 +148,26 @@ func (h *Histogram) Add(x float64) {
 
 // N returns the total number of observations including out-of-range ones.
 func (h *Histogram) N() int { return h.total }
+
+// Merge adds another histogram's counts into h. The two must have identical
+// shape (range and bin count); integer counts make the merge exact, so the
+// merged histogram equals the one a single sequential pass would build no
+// matter how the observations were split.
+func (h *Histogram) Merge(o *Histogram) error {
+	if o == nil {
+		return nil
+	}
+	if o.Min != h.Min || o.Max != h.Max || len(o.Counts) != len(h.Counts) {
+		return errors.New("stats: histogram shapes differ")
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	h.total += o.total
+	return nil
+}
 
 // BinWidth returns the width of each bin.
 func (h *Histogram) BinWidth() float64 { return (h.Max - h.Min) / float64(len(h.Counts)) }

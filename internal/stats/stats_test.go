@@ -263,3 +263,123 @@ func TestECDFMonotoneProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWelfordMergeOfSplitsEqualsWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 3
+	}
+	var whole Welford
+	for _, x := range xs {
+		whole.Add(x)
+	}
+	// Split into uneven chunks, accumulate separately, merge in order.
+	for _, cuts := range [][]int{{2500}, {1, 4999}, {100, 1000, 3000}, {5000}} {
+		var parts []Welford
+		lo := 0
+		for _, hi := range append(cuts, len(xs)) {
+			if hi <= lo {
+				continue
+			}
+			var w Welford
+			for _, x := range xs[lo:hi] {
+				w.Add(x)
+			}
+			parts = append(parts, w)
+			lo = hi
+		}
+		var m Welford
+		for _, p := range parts {
+			m.Merge(p)
+		}
+		if m.N() != whole.N() {
+			t.Fatalf("cuts %v: N = %d, want %d", cuts, m.N(), whole.N())
+		}
+		if math.Abs(m.Mean()-whole.Mean()) > 1e-12*math.Abs(whole.Mean()) {
+			t.Fatalf("cuts %v: mean %v, want %v", cuts, m.Mean(), whole.Mean())
+		}
+		if math.Abs(m.Variance()-whole.Variance()) > 1e-10*whole.Variance() {
+			t.Fatalf("cuts %v: variance %v, want %v", cuts, m.Variance(), whole.Variance())
+		}
+	}
+}
+
+func TestWelfordMergeDeterministicInOrder(t *testing.T) {
+	// Merging the same parts in the same order twice is bit-identical —
+	// the property the parallel Monte Carlo engine relies on.
+	var a, b Welford
+	parts := make([]Welford, 7)
+	rng := rand.New(rand.NewSource(13))
+	for i := range parts {
+		for j := 0; j < 100+i; j++ {
+			parts[i].Add(rng.NormFloat64())
+		}
+	}
+	for _, p := range parts {
+		a.Merge(p)
+	}
+	for _, p := range parts {
+		b.Merge(p)
+	}
+	if a.Mean() != b.Mean() || a.Variance() != b.Variance() || a.N() != b.N() {
+		t.Fatal("identical merge orders produced different accumulators")
+	}
+}
+
+func TestWelfordMergeEmptyCases(t *testing.T) {
+	var empty, w Welford
+	w.Add(2)
+	w.Add(4)
+	before := w
+	w.Merge(empty)
+	if w != before {
+		t.Fatal("merging an empty accumulator changed the receiver")
+	}
+	var target Welford
+	target.Merge(w)
+	if target.Mean() != 3 || target.N() != 2 {
+		t.Fatalf("merge into empty: mean %v n %d", target.Mean(), target.N())
+	}
+}
+
+func TestHistogramMergeEqualsWhole(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	whole := NewHistogram(0, 2, 20)
+	a := NewHistogram(0, 2, 20)
+	b := NewHistogram(0, 2, 20)
+	for i := 0; i < 4000; i++ {
+		x := rng.ExpFloat64()
+		whole.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.N() != whole.N() || a.Under != whole.Under || a.Over != whole.Over {
+		t.Fatalf("merged totals differ: %d/%d/%d vs %d/%d/%d",
+			a.N(), a.Under, a.Over, whole.N(), whole.Under, whole.Over)
+	}
+	for i := range whole.Counts {
+		if a.Counts[i] != whole.Counts[i] {
+			t.Fatalf("bin %d: %d vs %d", i, a.Counts[i], whole.Counts[i])
+		}
+	}
+}
+
+func TestHistogramMergeShapeMismatch(t *testing.T) {
+	a := NewHistogram(0, 2, 20)
+	if err := a.Merge(NewHistogram(0, 2, 10)); err == nil {
+		t.Fatal("accepted bin-count mismatch")
+	}
+	if err := a.Merge(NewHistogram(0, 3, 20)); err == nil {
+		t.Fatal("accepted range mismatch")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatal("nil merge must be a no-op")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/mc"
 	"recoveryblocks/internal/stats"
 )
 
@@ -126,27 +127,47 @@ func MeanLossIntegral(mu []float64) (float64, error) {
 
 // SimulateLoss estimates E[CL] and E[Z] by Monte Carlo with reps independent
 // synchronizations, returning (loss, z) accumulators with means and 95% CIs.
+// It runs on one worker; SimulateLossWorkers shards the replications across
+// a pool with identical results.
 func SimulateLoss(mu []float64, reps int, seed int64) (loss, z stats.Welford, err error) {
+	return SimulateLossWorkers(mu, reps, seed, 1)
+}
+
+// SimulateLossWorkers is SimulateLoss on the internal/mc worker pool:
+// workers > 0 means exactly that many goroutines, anything else means
+// runtime.NumCPU(). Replications are sharded into fixed blocks seeded by
+// dist.Substream(seed, block) and merged in block order, so for a fixed
+// seed the result is bit-identical for every worker count.
+func SimulateLossWorkers(mu []float64, reps int, seed int64, workers int) (loss, z stats.Welford, err error) {
 	if err := validateRates(mu); err != nil {
 		return loss, z, err
 	}
 	if reps < 1 {
 		return loss, z, errors.New("synch: reps must be ≥ 1")
 	}
-	s := dist.NewStream(seed)
-	ys := make([]float64, len(mu))
-	for r := 0; r < reps; r++ {
-		zz := 0.0
-		sum := 0.0
-		for i, m := range mu {
-			ys[i] = s.Exp(m)
-			sum += ys[i]
-			if ys[i] > zz {
-				zz = ys[i]
+	type block struct{ loss, z stats.Welford }
+	blocks := mc.Run(reps, mc.DefaultBlockSize, workers, func(b mc.Block) block {
+		s := dist.Substream(seed, b.Index)
+		ys := make([]float64, len(mu))
+		var blk block
+		for r := 0; r < b.N(); r++ {
+			zz := 0.0
+			sum := 0.0
+			for i, m := range mu {
+				ys[i] = s.Exp(m)
+				sum += ys[i]
+				if ys[i] > zz {
+					zz = ys[i]
+				}
 			}
+			blk.z.Add(zz)
+			blk.loss.Add(float64(len(mu))*zz - sum)
 		}
-		z.Add(zz)
-		loss.Add(float64(len(mu))*zz - sum)
+		return blk
+	})
+	for _, blk := range blocks {
+		loss.Merge(blk.loss)
+		z.Merge(blk.z)
 	}
 	return loss, z, nil
 }

@@ -24,6 +24,14 @@
 //     regenerate every table and figure of the paper's evaluation; see
 //     cmd/rbrepro for the command-line driver and EXPERIMENTS.md for the
 //     paper-vs-measured record.
+//
+// Every Monte Carlo estimate — the simulators and the experiments built on
+// them — runs on a sharded worker pool (internal/mc): replications are cut
+// into fixed blocks, each block draws from its own splittable RNG substream,
+// and block statistics merge in block order. Results are therefore
+// bit-identical for any worker count; the Workers knob (Sizes.Workers,
+// AsyncOptions.Workers, …, and cmd/rbrepro's -workers flag) only trades
+// wall-clock time. Zero means all CPUs.
 package recoveryblocks
 
 import (
@@ -167,13 +175,45 @@ type (
 	AsyncResult = sim.AsyncResult
 	// SyncOptions configures SimulateSync.
 	SyncOptions = sim.SyncOptions
+	// SyncSimResult is SimulateSync's output (the experiment-layer
+	// reproduction of Section 3 is SyncResult).
+	SyncSimResult = sim.SyncResult
+	// SyncStrategy selects when synchronization requests are issued.
+	SyncStrategy = sim.SyncStrategy
 	// PRPOptions configures SimulatePRP.
 	PRPOptions = sim.PRPOptions
+	// PRPSimResult is SimulatePRP's output (the experiment-layer
+	// reproduction of Section 4 is PRPResult).
+	PRPSimResult = sim.PRPResult
+)
+
+// Re-exported synchronization-request strategies (Section 3).
+const (
+	// SyncConstantInterval requests at a constant interval.
+	SyncConstantInterval = sim.SyncConstantInterval
+	// SyncElapsedSinceLine requests when the time since the previous
+	// recovery line exceeds the threshold.
+	SyncElapsedSinceLine = sim.SyncElapsedSinceLine
+	// SyncStatesSaved requests when the states saved since the previous
+	// recovery line exceed the threshold.
+	SyncStatesSaved = sim.SyncStatesSaved
 )
 
 // SimulateAsync estimates E[X] and E[L_i] by discrete-event simulation.
 func SimulateAsync(p Params, opt AsyncOptions) (*AsyncResult, error) {
 	return sim.SimulateAsync(p, opt)
+}
+
+// SimulateSync measures the Section 3 synchronized scheme's computation
+// loss, commitment wait and cycle statistics by simulation.
+func SimulateSync(mu []float64, opt SyncOptions) (*SyncSimResult, error) {
+	return sim.SimulateSync(mu, opt)
+}
+
+// SimulatePRP measures rollback distances with pseudo recovery points
+// against the asynchronous scheme by simulation (Section 4).
+func SimulatePRP(p Params, opt PRPOptions) (*PRPSimResult, error) {
+	return sim.SimulatePRP(p, opt)
 }
 
 // ---- Experiment layer (internal/expt) ----
