@@ -1,0 +1,47 @@
+// Command benchjson converts `go test -bench` text output (read from stdin)
+// into a machine-readable JSON baseline, so CI can archive one benchmark
+// artifact per commit and future changes have a perf trajectory to compare
+// against:
+//
+//	go test -bench=. -benchtime=1x -run '^$' . | benchjson > BENCH_xval.json
+//
+// The converter is intentionally lossless about metrics: every
+// "<value> <unit>" pair a benchmark line reports (ns/op, B/op, allocs/op,
+// custom units) lands in the metrics map under its unit.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	baseline, err := Parse(lines)
+	if err != nil {
+		return err
+	}
+	b, err := baseline.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(out, string(b))
+	return err
+}

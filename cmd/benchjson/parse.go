@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including the -P GOMAXPROCS suffix,
+	// e.g. "BenchmarkTable1/quick-8".
+	Name string `json:"name"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps each reported unit to its value: "ns/op", "B/op",
+	// "allocs/op", and any custom units the suite reports.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the archived artifact: environment header plus every result.
+type Baseline struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// JSON renders the baseline deterministically (map keys sort on encoding).
+func (b *Baseline) JSON() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// Parse consumes `go test -bench` output lines. Unrecognized lines (test
+// chatter, PASS/ok trailers) are skipped; malformed Benchmark lines are an
+// error, so a format change in the toolchain fails loudly instead of
+// producing an empty artifact.
+func Parse(lines []string) (*Baseline, error) {
+	base := &Baseline{Benchmarks: []Benchmark{}}
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "goos:"):
+			base.GOOS = strings.TrimSpace(strings.TrimPrefix(trimmed, "goos:"))
+		case strings.HasPrefix(trimmed, "goarch:"):
+			base.GOARCH = strings.TrimSpace(strings.TrimPrefix(trimmed, "goarch:"))
+		case strings.HasPrefix(trimmed, "pkg:"):
+			base.Pkg = strings.TrimSpace(strings.TrimPrefix(trimmed, "pkg:"))
+		case strings.HasPrefix(trimmed, "cpu:"):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(trimmed, "cpu:"))
+		case strings.HasPrefix(trimmed, "Benchmark"):
+			bm, err := parseBenchLine(trimmed)
+			if err != nil {
+				return nil, fmt.Errorf("%q: %w", line, err)
+			}
+			base.Benchmarks = append(base.Benchmarks, bm)
+		}
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in input")
+	}
+	return base, nil
+}
+
+// parseBenchLine parses "BenchmarkName-8  12  345 ns/op  67 B/op ...".
+func parseBenchLine(line string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("want name, iterations and value/unit pairs")
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("bad iteration count %q", fields[1])
+	}
+	bm := Benchmark{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("bad metric value %q", fields[i])
+		}
+		bm.Metrics[fields[i+1]] = v
+	}
+	return bm, nil
+}

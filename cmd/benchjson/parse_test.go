@@ -1,0 +1,64 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: recoveryblocks
+cpu: Intel(R) Xeon(R)
+BenchmarkTable1/quick-8         	       1	 123456789 ns/op
+BenchmarkSimulateAsyncWorkers/w=4-8 	       2	  55555 ns/op	    1024 B/op	      17 allocs/op
+PASS
+ok  	recoveryblocks	1.234s
+`
+
+func TestParseSample(t *testing.T) {
+	base, err := Parse(strings.Split(sample, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.GOOS != "linux" || base.GOARCH != "amd64" || base.Pkg != "recoveryblocks" {
+		t.Fatalf("header wrong: %+v", base)
+	}
+	if len(base.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(base.Benchmarks))
+	}
+	b0 := base.Benchmarks[0]
+	if b0.Name != "BenchmarkTable1/quick-8" || b0.Iterations != 1 || b0.Metrics["ns/op"] != 123456789 {
+		t.Fatalf("first benchmark wrong: %+v", b0)
+	}
+	b1 := base.Benchmarks[1]
+	if b1.Metrics["B/op"] != 1024 || b1.Metrics["allocs/op"] != 17 {
+		t.Fatalf("metric pairs lost: %+v", b1)
+	}
+}
+
+func TestParseRejectsEmptyAndMalformed(t *testing.T) {
+	if _, err := Parse([]string{"PASS", "ok  x  1s"}); err == nil {
+		t.Error("benchmark-free input must error (an empty artifact hides a broken CI step)")
+	}
+	if _, err := Parse([]string{"BenchmarkBroken-8 not-a-number 5 ns/op"}); err == nil {
+		t.Error("malformed iteration count accepted")
+	}
+	if _, err := Parse([]string{"BenchmarkBroken-8 1 5"}); err == nil {
+		t.Error("dangling value without unit accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal([]byte(out.String()), &base); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(base.Benchmarks) != 2 {
+		t.Fatalf("round trip lost benchmarks: %+v", base)
+	}
+}

@@ -1,6 +1,7 @@
 // Command rbrepro regenerates the tables and figures of Shin & Lee (1983),
 // "Analysis of Backward Error Recovery for Concurrent Processes with
-// Recovery Blocks".
+// Recovery Blocks", and cross-validates the repository's models against its
+// simulators.
 //
 // Usage:
 //
@@ -13,200 +14,46 @@
 //	rbrepro trace -scheme sync|prp      # Figures 7 / 8 runtime traces
 //	rbrepro graph -model full|symmetric|split   # Figures 2-4 as DOT
 //	rbrepro plan                        # design aids beyond the paper
-//	rbrepro all                         # everything above
+//	rbrepro xval  [-json]               # model vs simulator cross-validation
+//	rbrepro all                         # every experiment above
 //
-// Global flags: -quick (small Monte Carlo sizes), -seed N, -workers N
-// (Monte Carlo worker-pool size; 0 = all CPUs; results are bit-identical
-// for every value).
+// Global flags: -quick (small Monte Carlo sizes; for xval, the short grid),
+// -seed N, -workers N (Monte Carlo worker-pool size; 0 = all CPUs; results
+// are bit-identical for every value).
+//
+// xval sweeps the declarative scenario grid of internal/xval, printing one
+// row per model↔simulator comparison (the -json flag emits the
+// machine-readable report instead), and exits non-zero on any disagreement —
+// the statistical oracle CI runs against every change.
 package main
 
 import (
-	"flag"
+	"errors"
 	"fmt"
+	"io"
 	"os"
-	"strconv"
-	"strings"
-
-	rb "recoveryblocks"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	quick := fs.Bool("quick", false, "use small Monte Carlo sizes")
-	seed := fs.Int64("seed", 1983, "random seed")
-	workers := fs.Int("workers", 0, "Monte Carlo worker goroutines (0 = all CPUs; never changes results)")
-	rhos := fs.String("rhos", "1,2,4", "comma-separated rho values (fig5)")
-	maxn := fs.Int("maxn", 10, "largest process count (fig5)")
-	exact := fs.Int("exact", 8, "solve the full model exactly up to this n (fig5)")
-	points := fs.Int("points", 41, "grid points (fig6)")
-	tmax := fs.Float64("tmax", 2.0, "time horizon (fig6)")
-	tr := fs.Float64("tr", 0.05, "state-save cost t_r (prp)")
-	lambda := fs.Float64("lambda", 2.0, "per-pair interaction rate (prp)")
-	scheme := fs.String("scheme", "sync", "trace scheme: sync or prp")
-	model := fs.String("model", "full", "graph model: full, symmetric or split")
-	if err := fs.Parse(os.Args[2:]); err != nil {
-		os.Exit(2)
-	}
-	sz := rb.DefaultSizes()
-	if *quick {
-		sz = rb.QuickSizes()
-	}
-	sz.Seed = *seed
-	sz.Workers = *workers
-
-	var run func(string) error
-	run = func(name string) error {
-		switch name {
-		case "table1":
-			r, err := rb.Table1(sz)
-			if err != nil {
-				return err
-			}
-			fmt.Println(r.Format())
-		case "fig5":
-			var rs []float64
-			for _, s := range strings.Split(*rhos, ",") {
-				v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-				if err != nil {
-					return fmt.Errorf("bad rho %q: %w", s, err)
-				}
-				rs = append(rs, v)
-			}
-			var ns []int
-			for n := 2; n <= *maxn; n++ {
-				ns = append(ns, n)
-			}
-			r, err := rb.Figure5(ns, rs, *exact, sz)
-			if err != nil {
-				return err
-			}
-			fmt.Println(r.Format())
-		case "fig6":
-			r, err := rb.Figure6(*points, *tmax, sz)
-			if err != nil {
-				return err
-			}
-			fmt.Println(r.Format())
-		case "sync":
-			r, err := rb.Section3(sz)
-			if err != nil {
-				return err
-			}
-			fmt.Println(r.Format())
-		case "prp":
-			r, err := rb.Section4([]int{2, 3, 4, 6, 8}, *tr, *lambda, sz)
-			if err != nil {
-				return err
-			}
-			fmt.Println(r.Format())
-		case "domino":
-			r, err := rb.Figure1Domino(sz.Seed)
-			if err != nil {
-				return err
-			}
-			fmt.Println(r.Format())
-		case "trace":
-			var r *rb.TraceResult
-			var err error
-			switch *scheme {
-			case "sync":
-				r, err = rb.Figure7SyncTrace(sz.Seed)
-			case "prp":
-				r, err = rb.Figure8PRPTrace(sz.Seed)
-			default:
-				return fmt.Errorf("unknown scheme %q (want sync or prp)", *scheme)
-			}
-			if err != nil {
-				return err
-			}
-			fmt.Println(r.Format())
-		case "graph":
-			g, err := rb.ModelGraphs()
-			if err != nil {
-				return err
-			}
-			switch *model {
-			case "full":
-				fmt.Println(g.FullDOT)
-			case "symmetric":
-				fmt.Println(g.SymmetricDOT)
-			case "split":
-				fmt.Println(g.SplitDOT)
-			default:
-				return fmt.Errorf("unknown model %q (want full, symmetric or split)", *model)
-			}
-		case "plan":
-			// Extension beyond the paper's evaluation: the Section 1 open
-			// question (optimal synchronization interval) and the Section 5
-			// deadline argument, quantified.
-			mu := []float64{1, 1, 1}
-			fmt.Println("Design aids (extensions; see DESIGN.md and EXPERIMENTS.md)")
-			fmt.Println("\nOptimal synchronization interval, mu = (1,1,1):")
-			fmt.Println("theta (error rate) | tau* | overhead fraction")
-			for _, theta := range []float64{0.001, 0.01, 0.1, 0.5} {
-				tau, over, err := rb.OptimalSyncInterval(mu, theta)
-				if err != nil {
-					return err
-				}
-				fmt.Printf("  %6.3f           | %7.3f | %.4f\n", theta, tau, over)
-			}
-			fmt.Println("\nDeadline risk under asynchronous RBs (rho = 2, mu = 1, deadline d = 3):")
-			fmt.Println("n | P(X > d) | 99th percentile of X")
-			for n := 2; n <= 7; n++ {
-				m, err := rb.NewAsyncModel(rb.UniformParams(n, 1, 2/float64(n-1)))
-				if err != nil {
-					return err
-				}
-				p, err := m.DeadlineMissProb(3)
-				if err != nil {
-					return err
-				}
-				q, err := m.QuantileX(0.99)
-				if err != nil {
-					return err
-				}
-				fmt.Printf("%d | %.4f   | %8.2f\n", n, p, q)
-			}
-		case "all":
-			for _, sub := range []string{"table1", "fig5", "fig6", "sync", "prp", "domino", "plan"} {
-				fmt.Printf("================ %s ================\n", sub)
-				if err := run(sub); err != nil {
-					return err
-				}
-			}
-			fmt.Println("================ trace (fig 7) ================")
-			r7, err := rb.Figure7SyncTrace(sz.Seed)
-			if err != nil {
-				return err
-			}
-			fmt.Println(r7.Format())
-			fmt.Println("================ trace (fig 8) ================")
-			r8, err := rb.Figure8PRPTrace(sz.Seed)
-			if err != nil {
-				return err
-			}
-			fmt.Println(r8.Format())
-		default:
-			usage()
-			return fmt.Errorf("unknown command %q", name)
+	err := Run(os.Args[1:], os.Stdout)
+	switch {
+	case err == nil:
+	case errors.Is(err, errUsage):
+		usage(os.Stderr)
+		if msg := err.Error(); msg != errUsage.Error() {
+			fmt.Fprintln(os.Stderr, "rbrepro:", msg)
 		}
-		return nil
-	}
-
-	if err := run(cmd); err != nil {
+		os.Exit(2)
+	default:
 		fmt.Fprintln(os.Stderr, "rbrepro:", err)
 		os.Exit(1)
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `rbrepro — reproduce Shin & Lee (1983) tables and figures
-commands: table1 fig5 fig6 sync prp domino trace graph plan all
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `rbrepro — reproduce Shin & Lee (1983) tables and figures
+commands: table1 fig5 fig6 sync prp domino trace graph plan xval all
 flags:    -quick -seed N -workers N; fig5: -rhos -maxn -exact; fig6: -points -tmax;
-          prp: -tr -lambda; trace: -scheme sync|prp; graph: -model full|symmetric|split`)
+          prp: -tr -lambda; trace: -scheme sync|prp; graph: -model full|symmetric|split;
+          xval: -json`)
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// runOK executes Run and fails the test on error, returning stdout.
+func runOK(t *testing.T, args ...string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := Run(args, &out); err != nil {
+		t.Fatalf("rbrepro %s: %v\noutput:\n%s", strings.Join(args, " "), err, out.String())
+	}
+	return out.String()
+}
+
+// TestRunEveryExperimentSubcommand smoke-tests each subcommand end to end at
+// quick sizes, asserting the output carries its artifact's banner.
+func TestRunEveryExperimentSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI smoke tests run full experiment drivers")
+	}
+	cases := []struct {
+		args []string
+		want []string
+	}{
+		{[]string{"table1", "-quick"}, []string{"Table 1", "case 5"}},
+		{[]string{"fig5", "-quick", "-maxn", "4", "-exact", "4", "-rhos", "2"}, []string{"Figure 5", "rho"}},
+		{[]string{"fig6", "-quick", "-points", "9"}, []string{"Figure 6", "KS(sim vs analytic)"}},
+		{[]string{"sync", "-quick"}, []string{"Section 3", "CL simulated"}},
+		{[]string{"prp", "-quick"}, []string{"Section 4", "sim propagated"}},
+		{[]string{"domino", "-quick"}, []string{"Figure 1", "recoveries:"}},
+		{[]string{"trace", "-scheme", "sync"}, []string{"Figure 7"}},
+		{[]string{"trace", "-scheme", "prp"}, []string{"Figure 8"}},
+		{[]string{"graph", "-model", "full"}, []string{"digraph"}},
+		{[]string{"graph", "-model", "symmetric"}, []string{"digraph"}},
+		{[]string{"graph", "-model", "split"}, []string{"digraph"}},
+		{[]string{"plan"}, []string{"Design aids", "Deadline risk"}},
+		{[]string{"xval", "-quick"}, []string{"Cross-validation", "all model/simulator pairs agree"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.args[0]+"_"+strings.Join(c.args[1:], "_"), func(t *testing.T) {
+			t.Parallel()
+			out := runOK(t, c.args...)
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("rbrepro %v output missing %q", c.args, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"no-such-command"},
+		{"table1", "-no-such-flag"},
+	} {
+		var out strings.Builder
+		err := Run(args, &out)
+		if !errors.Is(err, errUsage) {
+			t.Errorf("Run(%v) = %v, want errUsage", args, err)
+		}
+	}
+}
+
+func TestRunRejectsBadOperands(t *testing.T) {
+	for _, args := range [][]string{
+		{"trace", "-scheme", "bogus"},
+		{"graph", "-model", "bogus"},
+		{"fig5", "-quick", "-rhos", "one,two"},
+	} {
+		var out strings.Builder
+		err := Run(args, &out)
+		if err == nil {
+			t.Errorf("Run(%v) accepted a bad operand", args)
+		}
+		if errors.Is(err, errUsage) {
+			t.Errorf("Run(%v) = usage error, want a plain command error", args)
+		}
+	}
+}
+
+// TestXValJSONReport checks the machine-readable xval mode: valid JSON, zero
+// failures on the short grid, and the derived-tolerance fields present.
+func TestXValJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the short cross-validation grid")
+	}
+	out := runOK(t, "xval", "-quick", "-json")
+	var rep struct {
+		Crit     float64 `json:"crit"`
+		K        int     `json:"statistical_comparisons"`
+		Failures int     `json:"failures"`
+		Checks   []struct {
+			Name   string  `json:"name"`
+			CIHalf float64 `json:"ci_half"`
+			Pass   bool    `json:"pass"`
+		} `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("xval -json did not emit valid JSON: %v", err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("short grid reported %d failures", rep.Failures)
+	}
+	if rep.K == 0 || len(rep.Checks) < rep.K || rep.Crit <= 0 {
+		t.Fatalf("report looks empty: K=%d checks=%d crit=%v", rep.K, len(rep.Checks), rep.Crit)
+	}
+}
+
+// TestXValSeedOffsetIsIndependentReplication: shifting -seed re-runs the
+// whole sweep on disjoint substreams and must still pass.
+func TestXValSeedOffsetIsIndependentReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the short cross-validation grid twice")
+	}
+	a := runOK(t, "xval", "-quick")
+	b := runOK(t, "xval", "-quick", "-seed", "7")
+	if a == b {
+		t.Fatal("different -seed produced an identical xval report")
+	}
+}
+
+// TestWorkersFlagNeverChangesResults pins the CLI end of the mc determinism
+// contract on a full experiment command.
+func TestWorkersFlagNeverChangesResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs Table 1 twice")
+	}
+	a := runOK(t, "table1", "-quick", "-workers", "1")
+	b := runOK(t, "table1", "-quick", "-workers", "4")
+	if a != b {
+		t.Fatal("table1 output differs between -workers 1 and -workers 4")
+	}
+}

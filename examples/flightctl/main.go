@@ -73,9 +73,12 @@ func main() {
 	fmt.Printf("frames flown: %d   recoveries: %d\n", frames, m.Recoveries)
 	for i, ps := range m.Procs {
 		role := []string{"sensor", "guidance", "actuation"}[i]
-		fmt.Printf("  %-9s work=%d discarded=%d lines=%d ATfail=%d wait=%v\n",
+		// ConversationWait (wall-clock time parked at test lines) is
+		// deliberately not printed: it varies run to run, and this output is
+		// pinned by a golden-file test.
+		fmt.Printf("  %-9s work=%d discarded=%d lines=%d ATfail=%d\n",
 			role, ps.WorkDone, ps.WorkDiscarded, ps.ConversationsSaved,
-			ps.ATFailures, ps.ConversationWait)
+			ps.ATFailures)
 	}
 	// The guarantee the paper's Section 3 buys: rollback never crosses one
 	// frame boundary, so the worst-case recovery delay is bounded — the

@@ -1,0 +1,73 @@
+package recoveryblocks
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+var updateExamples = flag.Bool("update-examples", false, "rewrite the example golden files from current output")
+
+// exampleNames lists every program under examples/; each must compile, run
+// to completion with a zero exit status, and print byte-identical output on
+// every run (the runtime seeds all randomness deterministically and the
+// examples print no wall-clock quantities).
+var exampleNames = []string{"bankteller", "flightctl", "pipeline", "quickstart"}
+
+// TestExamplesRunDeterministically executes each example twice via `go run`
+// and compares both runs against the pinned golden output. Refresh the
+// goldens intentionally with
+//
+//	go test -run TestExamplesRunDeterministically . -update-examples
+func TestExamplesRunDeterministically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples invoke the go tool")
+	}
+	for _, name := range exampleNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			first := runExample(t, name)
+			second := runExample(t, name)
+			if !bytes.Equal(first, second) {
+				t.Fatalf("example %s is nondeterministic across runs:\n--- run 1 ---\n%s--- run 2 ---\n%s", name, first, second)
+			}
+			golden := filepath.Join("testdata", "examples", name+".golden")
+			if *updateExamples {
+				if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, first, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", golden)
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-examples to create): %v", err)
+			}
+			if !bytes.Equal(first, want) {
+				t.Fatalf("example %s output drifted from its golden file.\n--- got ---\n%s--- want ---\n%s", name, first, want)
+			}
+		})
+	}
+}
+
+func runExample(t *testing.T, name string) []byte {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./examples/"+name)
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go run ./examples/%s: %v\nstderr:\n%s", name, err, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Fatalf("example %s wrote to stderr:\n%s", name, stderr.String())
+	}
+	return out.Bytes()
+}

@@ -97,6 +97,28 @@ func TestFacadeSimulate(t *testing.T) {
 	}
 }
 
+func TestFacadeCrossValidate(t *testing.T) {
+	grid := []XValScenario{{
+		Name: "facade", Mu: []float64{1, 1, 1}, Lambda: 1,
+		Deadline: 3, Reps: 2000, Seed: 7,
+	}}
+	rep, err := CrossValidate(grid, XValOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("facade cross-validation reported %d disagreements:\n%s", rep.Failures, rep.Format())
+	}
+	if rep.K == 0 || len(rep.Checks) == 0 {
+		t.Fatal("empty cross-validation report")
+	}
+	short := XValShortGrid()
+	full := XValFullGrid()
+	if len(short) == 0 || len(full) <= len(short) {
+		t.Fatalf("grids look wrong: short %d, full %d", len(short), len(full))
+	}
+}
+
 func TestFacadeExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments in -short mode")

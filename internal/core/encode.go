@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// State codec: a compact, canonical binary encoding for the ready-made State
+// implementations (Counter, Ints, Record), so checkpoints can leave the
+// process — be persisted, shipped to a peer, or diffed — and be restored
+// bit-exactly. The encoding is canonical (Record keys are sorted), which
+// makes EncodeState(s) usable as a comparison key for states; DecodeState is
+// total over arbitrary input: it returns an error, never panics, on
+// malformed bytes.
+//
+// Layout (all integers little-endian where fixed-width):
+//
+//	Counter: tag 0x01, value int64 (zig-zag varint)
+//	Ints:    tag 0x02, length uvarint, then each element (zig-zag varint)
+//	Record:  tag 0x03, entry count uvarint, then per entry (sorted by key):
+//	         key length uvarint, key bytes, value float64 bits (fixed 8)
+
+const (
+	tagCounter byte = 0x01
+	tagInts    byte = 0x02
+	tagRecord  byte = 0x03
+)
+
+// ErrUnknownState is returned by EncodeState for State implementations
+// outside the ready-made set (user-defined states define their own codecs).
+var ErrUnknownState = errors.New("core: state type has no built-in encoding")
+
+// ErrBadEncoding is returned by DecodeState for malformed input.
+var ErrBadEncoding = errors.New("core: malformed state encoding")
+
+// Minimum encoded footprint per collection element, used to bound claimed
+// lengths by the bytes actually present so a short hostile input cannot
+// demand a huge allocation before the truncation is discovered: an Ints
+// element is at least one varint byte; a Record entry is at least a one-byte
+// key-length varint plus the 8 value bytes.
+const (
+	minIntsElemBytes   = 1
+	minRecordElemBytes = 9
+)
+
+// EncodeState serializes a ready-made State into its canonical binary form.
+func EncodeState(s State) ([]byte, error) {
+	switch v := s.(type) {
+	case *Counter:
+		buf := append([]byte{tagCounter}, binary.AppendVarint(nil, v.V)...)
+		return buf, nil
+	case Ints:
+		buf := []byte{tagInts}
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		for _, x := range v {
+			buf = binary.AppendVarint(buf, x)
+		}
+		return buf, nil
+	case Record:
+		keys := make([]string, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf := []byte{tagRecord}
+		buf = binary.AppendUvarint(buf, uint64(len(keys)))
+		for _, k := range keys {
+			buf = binary.AppendUvarint(buf, uint64(len(k)))
+			buf = append(buf, k...)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v[k]))
+		}
+		return buf, nil
+	default:
+		return nil, fmt.Errorf("%w: %T", ErrUnknownState, s)
+	}
+}
+
+// DecodeState parses the canonical binary form back into a State. Every
+// byte of the input must be consumed; trailing garbage is an error.
+func DecodeState(b []byte) (State, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrBadEncoding)
+	}
+	tag, rest := b[0], b[1:]
+	switch tag {
+	case tagCounter:
+		v, n := binary.Varint(rest)
+		if n <= 0 || n != len(rest) {
+			return nil, fmt.Errorf("%w: bad counter value", ErrBadEncoding)
+		}
+		return &Counter{V: v}, nil
+	case tagInts:
+		length, n := binary.Uvarint(rest)
+		if n <= 0 || length > uint64(len(rest)-n)/minIntsElemBytes {
+			return nil, fmt.Errorf("%w: bad ints length", ErrBadEncoding)
+		}
+		rest = rest[n:]
+		out := make(Ints, length)
+		for i := range out {
+			v, n := binary.Varint(rest)
+			if n <= 0 {
+				return nil, fmt.Errorf("%w: truncated ints element", ErrBadEncoding)
+			}
+			out[i] = v
+			rest = rest[n:]
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: trailing bytes after ints", ErrBadEncoding)
+		}
+		return out, nil
+	case tagRecord:
+		count, n := binary.Uvarint(rest)
+		if n <= 0 || count > uint64(len(rest)-n)/minRecordElemBytes {
+			return nil, fmt.Errorf("%w: bad record count", ErrBadEncoding)
+		}
+		rest = rest[n:]
+		out := make(Record, count)
+		for i := uint64(0); i < count; i++ {
+			klen, n := binary.Uvarint(rest)
+			if n <= 0 || uint64(len(rest)-n) < klen {
+				return nil, fmt.Errorf("%w: truncated record key", ErrBadEncoding)
+			}
+			rest = rest[n:]
+			key := string(rest[:klen])
+			rest = rest[klen:]
+			if len(rest) < 8 {
+				return nil, fmt.Errorf("%w: truncated record value", ErrBadEncoding)
+			}
+			if _, dup := out[key]; dup {
+				return nil, fmt.Errorf("%w: duplicate record key %q", ErrBadEncoding, key)
+			}
+			out[key] = math.Float64frombits(binary.LittleEndian.Uint64(rest[:8]))
+			rest = rest[8:]
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("%w: trailing bytes after record", ErrBadEncoding)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown tag 0x%02x", ErrBadEncoding, tag)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestStateCodecRoundTrips(t *testing.T) {
+	states := []State{
+		&Counter{V: 0},
+		&Counter{V: -42},
+		&Counter{V: math.MaxInt64},
+		Ints{},
+		Ints{1, -2, 3, math.MinInt64},
+		Record{},
+		Record{"balance": 1000.5, "applied": -0.0, "": math.Inf(1)},
+	}
+	for _, s := range states {
+		b, err := EncodeState(s)
+		if err != nil {
+			t.Fatalf("encode %#v: %v", s, err)
+		}
+		got, err := DecodeState(b)
+		if err != nil {
+			t.Fatalf("decode %#v: %v", s, err)
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Errorf("round trip mutated state: %#v -> %#v", s, got)
+		}
+	}
+}
+
+func TestStateCodecIsCanonical(t *testing.T) {
+	// Record encoding must not depend on map iteration order.
+	a := Record{"x": 1, "y": 2, "z": 3}
+	var first []byte
+	for i := 0; i < 20; i++ {
+		b, err := EncodeState(a.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = b
+		} else if !bytes.Equal(first, b) {
+			t.Fatal("Record encoding is not canonical across encodes")
+		}
+	}
+}
+
+func TestDecodeStateRejectsMalformedInput(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{},
+		{0x00},                   // unknown tag
+		{0xff, 1, 2, 3},          // unknown tag
+		{0x01},                   // counter with no value
+		{0x02, 0x05},             // ints claiming 5 elements, none present
+		{0x03, 0x01},             // record claiming 1 entry, none present
+		{0x03, 0x01, 0x02},       // record key longer than input
+		{0x02, 0x01, 0x02, 0x99}, // trailing garbage after ints
+		// Claimed lengths far beyond the bytes present must be rejected up
+		// front — a few-byte input may not force a large allocation.
+		{0x02, 0xff, 0xff, 0xff, 0x07}, // ints claiming ~16M elements
+		{0x03, 0xff, 0xff, 0xff, 0x07}, // record claiming ~16M entries
+	}
+	for _, b := range bad {
+		if s, err := DecodeState(b); err == nil {
+			t.Errorf("DecodeState(%v) accepted malformed input as %#v", b, s)
+		}
+	}
+	// Duplicate record keys are not canonical.
+	dup := []byte{0x03, 0x02,
+		0x01, 'k', 0, 0, 0, 0, 0, 0, 0, 0,
+		0x01, 'k', 0, 0, 0, 0, 0, 0, 0, 0}
+	if _, err := DecodeState(dup); err == nil {
+		t.Error("DecodeState accepted duplicate record keys")
+	}
+}
+
+func TestEncodeStateRejectsForeignStates(t *testing.T) {
+	type custom struct{ State }
+	if _, err := EncodeState(custom{}); err == nil {
+		t.Error("EncodeState accepted a non-built-in state")
+	}
+}
+
+// FuzzStateCodec drives the codec with arbitrary structured states (built
+// from the fuzz input) and arbitrary raw bytes, asserting the two core
+// properties: Decode(Encode(s)) == s for every constructible state, and
+// DecodeState never panics while Decode∘Encode∘Decode is the identity on
+// whatever it accepts.
+func FuzzStateCodec(f *testing.F) {
+	f.Add(int64(7), []byte("seed"), []byte{0x02, 0x02, 0x02, 0x04})
+	f.Add(int64(-1), []byte{}, []byte{0x03, 0x00})
+	f.Add(int64(math.MaxInt64), []byte("k\x00v"), []byte{0x01, 0x01})
+	f.Fuzz(func(t *testing.T, n int64, structured, raw []byte) {
+		// Property 1: round trip of states built from the input.
+		states := []State{&Counter{V: n}}
+		ints := make(Ints, 0, len(structured))
+		for _, b := range structured {
+			ints = append(ints, int64(int8(b))*n)
+		}
+		states = append(states, ints)
+		rec := Record{}
+		for i := 0; i+1 < len(structured); i += 2 {
+			rec[string(structured[i:i+1])] = float64(int8(structured[i+1]))
+		}
+		states = append(states, rec)
+		for _, s := range states {
+			enc, err := EncodeState(s)
+			if err != nil {
+				t.Fatalf("encode %#v: %v", s, err)
+			}
+			dec, err := DecodeState(enc)
+			if err != nil {
+				t.Fatalf("decode of valid encoding failed: %v", err)
+			}
+			if !reflect.DeepEqual(dec, s) {
+				t.Fatalf("round trip mutated %#v into %#v", s, dec)
+			}
+		}
+
+		// Property 2: arbitrary bytes never panic, and anything accepted
+		// re-encodes canonically to an equal state.
+		dec, err := DecodeState(raw)
+		if err != nil {
+			return
+		}
+		enc, err := EncodeState(dec)
+		if err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		again, err := DecodeState(enc)
+		if err != nil {
+			t.Fatalf("canonical re-encoding was rejected: %v", err)
+		}
+		// Compare via the canonical encoding, not DeepEqual: decoded floats
+		// may be NaN (never ==), but their bit patterns must survive exactly.
+		enc2, err := EncodeState(again)
+		if err != nil {
+			t.Fatalf("re-encode after round trip failed: %v", err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("Decode∘Encode∘Decode not identity: % x vs % x", enc, enc2)
+		}
+	})
+}

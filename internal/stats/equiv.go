@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// This file provides the confidence-interval equivalence machinery used by
+// internal/xval to compare Monte Carlo estimates against exact model values.
+// Tolerances are never hand-tuned epsilons: every statistical comparison is a
+// z-test whose critical value is derived from a requested family-wise error
+// rate, Bonferroni-corrected for the number of comparisons in the family, and
+// every interval half-width is computed from the Welford accumulator's own
+// standard error.
+
+// InvNormCDF returns the quantile function Φ⁻¹(p) of the standard normal
+// distribution, computed from the inverse error function. It panics for
+// p outside (0, 1).
+func InvNormCDF(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("stats: InvNormCDF needs p in (0, 1)")
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// ZCrit returns the two-sided critical value for a z-test at family-wise
+// significance level alpha across k comparisons, using the Bonferroni
+// correction: each individual comparison is tested at alpha/k, so the
+// critical value is Φ⁻¹(1 − alpha/(2k)). With k = 1 and alpha = 0.05 this is
+// the familiar 1.96. It panics for alpha outside (0, 1) or k < 1.
+func ZCrit(alpha float64, k int) float64 {
+	if alpha <= 0 || alpha >= 1 {
+		panic("stats: ZCrit needs alpha in (0, 1)")
+	}
+	if k < 1 {
+		panic("stats: ZCrit needs k >= 1")
+	}
+	return InvNormCDF(1 - alpha/(2*float64(k)))
+}
+
+// TCrit returns the two-sided Bonferroni critical value of the Student t
+// distribution with dof degrees of freedom, for equivalence tests whose
+// standard error is estimated from a small number of independent batch means
+// (where the normal critical value would be anti-conservative). It expands
+// the t quantile around the normal quantile with the Peizer–Pratt series of
+// Abramowitz & Stegun 26.7.5, accurate to a fraction of a percent for
+// dof ≥ 10 at the tail levels used here. It panics for dof < 1.
+func TCrit(alpha float64, k, dof int) float64 {
+	if dof < 1 {
+		panic("stats: TCrit needs dof >= 1")
+	}
+	u := ZCrit(alpha, k)
+	v := float64(dof)
+	u3 := u * u * u
+	u5 := u3 * u * u
+	u7 := u5 * u * u
+	return u +
+		(u3+u)/(4*v) +
+		(5*u5+16*u3+3*u)/(96*v*v) +
+		(3*u7+19*u5+17*u3-15*u)/(384*v*v*v)
+}
+
+// ErrDegenerate is returned when an equivalence test cannot be formed because
+// an estimate has no spread to test against (fewer than two observations, or
+// zero variance combined with a nonzero discrepancy would divide by zero).
+var ErrDegenerate = errors.New("stats: degenerate sample for equivalence test")
+
+// ZScoreAgainst returns the one-sample z-score of the accumulated mean
+// against an exact reference value: (mean − ref) / stderr. The caller
+// compares |z| with a ZCrit-derived critical value. A zero standard error is
+// degenerate unless the mean equals the reference exactly (z = 0).
+func (w *Welford) ZScoreAgainst(ref float64) (float64, error) {
+	if w.n < 2 {
+		return 0, ErrDegenerate
+	}
+	se := w.StdErr()
+	d := w.Mean() - ref
+	if se == 0 {
+		if d == 0 {
+			return 0, nil
+		}
+		return 0, ErrDegenerate
+	}
+	return d / se, nil
+}
+
+// TwoSampleZ returns the two-sample z-score between two independent
+// accumulated means: (a − b) / √(se_a² + se_b²). Valid for the large sample
+// counts Monte Carlo runs produce.
+func TwoSampleZ(a, b *Welford) (float64, error) {
+	if a.n < 2 || b.n < 2 {
+		return 0, ErrDegenerate
+	}
+	sa, sb := a.StdErr(), b.StdErr()
+	v := sa*sa + sb*sb
+	d := a.Mean() - b.Mean()
+	if v == 0 {
+		if d == 0 {
+			return 0, nil
+		}
+		return 0, ErrDegenerate
+	}
+	return d / math.Sqrt(v), nil
+}
+
+// CIHalf returns the half-width z·stderr of the confidence interval for the
+// mean at the given critical value (e.g. from ZCrit).
+func (w *Welford) CIHalf(z float64) float64 { return z * w.StdErr() }
+
+// IntervalsOverlap reports whether [m1−h1, m1+h1] and [m2−h2, m2+h2]
+// intersect — the confidence-interval overlap check. Overlap of individual
+// CIs is a more conservative acceptance criterion than the two-sample z-test
+// at the same critical value (two intervals can overlap while the difference
+// is significant), which is exactly what a regression oracle wants: it only
+// raises the alarm when the estimates are unambiguously apart.
+func IntervalsOverlap(m1, h1, m2, h2 float64) bool {
+	if h1 < 0 || h2 < 0 {
+		panic("stats: negative interval half-width")
+	}
+	return math.Abs(m1-m2) <= h1+h2
+}

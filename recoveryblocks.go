@@ -32,6 +32,12 @@
 // bit-identical for any worker count; the Workers knob (Sizes.Workers,
 // AsyncOptions.Workers, …, and cmd/rbrepro's -workers flag) only trades
 // wall-clock time. Zero means all CPUs.
+//
+// The models and the simulators are mechanically kept in agreement by the
+// cross-validation harness (internal/xval, re-exported here as
+// CrossValidate, XValShortGrid, XValFullGrid): every simulator/model pair is
+// checked over a scenario grid with confidence-interval equivalence tests,
+// via `rbrepro xval`, the go test suite, and golden regression files.
 package recoveryblocks
 
 import (
@@ -40,6 +46,7 @@ import (
 	"recoveryblocks/internal/rbmodel"
 	"recoveryblocks/internal/sim"
 	"recoveryblocks/internal/synch"
+	"recoveryblocks/internal/xval"
 )
 
 // ---- Runtime layer (internal/core) ----
@@ -275,3 +282,32 @@ func Figure8PRPTrace(seed int64) (*TraceResult, error) { return expt.Figure8PRPT
 
 // ModelGraphs exports the Figure 2–4 model structure as Graphviz DOT.
 func ModelGraphs() (*expt.GraphsResult, error) { return expt.ModelGraphs() }
+
+// ---- Cross-validation layer (internal/xval) ----
+
+// Aliases re-exporting the model↔simulator cross-validation harness — the
+// statistical oracle that checks every Monte Carlo simulator against the
+// exact solver computing the same quantity.
+type (
+	// XValScenario is one cell of the cross-validation grid.
+	XValScenario = xval.Scenario
+	// XValOptions tunes a cross-validation run (family-wise error rate,
+	// exact-route tolerance, worker count).
+	XValOptions = xval.Options
+	// XValReport is the judged outcome of a grid run.
+	XValReport = xval.Report
+	// XValCheck is one comparison of the report.
+	XValCheck = xval.Check
+)
+
+// XValShortGrid returns the deterministic smoke grid (seconds of CPU).
+func XValShortGrid() []XValScenario { return xval.ShortGrid() }
+
+// XValFullGrid returns the thorough sweep grid.
+func XValFullGrid() []XValScenario { return xval.FullGrid() }
+
+// CrossValidate runs every model↔simulator check of the grid and judges the
+// results at the family-wise error rate of opt (see internal/xval).
+func CrossValidate(grid []XValScenario, opt XValOptions) (*XValReport, error) {
+	return xval.Run(grid, opt)
+}
