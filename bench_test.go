@@ -241,6 +241,60 @@ func BenchmarkSimulateLossWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioRunnerWorkers measures the scenario batch runner fanning
+// the default uniform family grid (9 scenarios, quick replication budgets,
+// every strategy cross-checked) across 1, 2 and all workers. Reports are
+// bit-identical across all pool sizes; only time may differ. This is the
+// BENCH_scenario.json artifact populating the perf trajectory of the
+// declarative workload layer.
+func BenchmarkScenarioRunnerWorkers(b *testing.B) {
+	grid, err := DefaultScenarioFamily("uniform", true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		w := w
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := RunScenarios(grid, ScenarioOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Failures != 0 {
+					b.Fatalf("%d cross-check failures", rep.Failures)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdvise measures one advisor pricing pass (pure model evaluation:
+// chain solve, closed forms, optimal-interval search) — the cost of serving
+// one "which strategy?" query without cross-checks.
+func BenchmarkAdvise(b *testing.B) {
+	scs, err := LoadScenarios([]byte(`{
+	  "version": 1,
+	  "scenarios": [{
+	    "name": "bench", "mu": [1, 1, 1, 1], "rho": 2,
+	    "sync_interval": "optimal", "checkpoint_cost": 0.05,
+	    "deadline": 4, "error_rate": 0.1, "reps": 1000
+	  }]
+	}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		adv, err := Advise(scs[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if adv.Winner == "" {
+			b.Fatal("no winner")
+		}
+	}
+}
+
 // ---- Ablation / micro benchmarks for the design choices in DESIGN.md ----
 
 // BenchmarkAbsorptionSolveDirect measures the dense LU absorption solve on

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// compareMetrics are the units judged for regressions, in report order. All
+// three are "lower is better"; custom units a suite reports are echoed but
+// never gate (their direction is unknown).
+var compareMetrics = []string{"ns/op", "B/op", "allocs/op"}
+
+// Regression is one metric that got worse beyond the tolerance.
+type Regression struct {
+	Name   string  // benchmark name
+	Metric string  // unit, e.g. "ns/op"
+	Old    float64 // baseline value
+	New    float64 // current value
+	Ratio  float64 // New/Old − 1, the relative regression
+}
+
+// Compare judges new against old: for every benchmark present in both and
+// every metric in compareMetrics, a relative increase beyond tol is a
+// regression. Improvements and additions never fail; benchmarks that
+// disappeared from new are reported as warnings (a silently shrinking suite
+// would hollow out the gate), but only regressions make the caller exit
+// non-zero — renames are routine, slowdowns are not.
+func Compare(oldB, newB *Baseline, tol float64) (report string, regressions []Regression) {
+	oldByName := make(map[string]Benchmark, len(oldB.Benchmarks))
+	for _, b := range oldB.Benchmarks {
+		oldByName[b.Name] = b
+	}
+	newByName := make(map[string]Benchmark, len(newB.Benchmarks))
+	for _, b := range newB.Benchmarks {
+		newByName[b.Name] = b
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark comparison: tolerance %.0f%% on %s\n",
+		tol*100, strings.Join(compareMetrics, ", "))
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "benchmark\tmetric\told\tnew\tdelta\tverdict")
+	// Walk the old baseline in its own order (it is the contract); sort the
+	// names for benchmarks the map iteration would otherwise scramble.
+	for _, ob := range oldB.Benchmarks {
+		nb, ok := newByName[ob.Name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t-\t-\t-\tMISSING from new run\n", ob.Name)
+			continue
+		}
+		for _, metric := range compareMetrics {
+			ov, haveOld := ob.Metrics[metric]
+			nv, haveNew := nb.Metrics[metric]
+			if !haveOld || !haveNew {
+				continue
+			}
+			if ov == 0 {
+				// No baseline to be relative to (e.g. 0 allocs/op): only a
+				// nonzero new value is reportable, and it has no finite
+				// ratio — flag it as a regression outright.
+				if nv > 0 {
+					regressions = append(regressions, Regression{ob.Name, metric, ov, nv, 0})
+					fmt.Fprintf(w, "%s\t%s\t%g\t%g\t+inf\tREGRESSION\n", ob.Name, metric, ov, nv)
+				}
+				continue
+			}
+			ratio := nv/ov - 1
+			verdict := "ok"
+			if ratio > tol {
+				verdict = "REGRESSION"
+				regressions = append(regressions, Regression{ob.Name, metric, ov, nv, ratio})
+			}
+			fmt.Fprintf(w, "%s\t%s\t%g\t%g\t%+.1f%%\t%s\n", ob.Name, metric, ov, nv, 100*ratio, verdict)
+		}
+	}
+	var added []string
+	for name := range newByName {
+		if _, ok := oldByName[name]; !ok {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(w, "%s\t-\t-\t-\t-\tnew (no baseline)\n", name)
+	}
+	w.Flush()
+	if len(regressions) == 0 {
+		b.WriteString("no regressions beyond tolerance\n")
+	} else {
+		fmt.Fprintf(&b, "%d regression(s) beyond tolerance\n", len(regressions))
+	}
+	return b.String(), regressions
+}

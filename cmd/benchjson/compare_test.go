@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkBaseline(benches ...Benchmark) *Baseline {
+	return &Baseline{GOOS: "linux", GOARCH: "amd64", Benchmarks: benches}
+}
+
+func bench(name string, nsPerOp float64, extra map[string]float64) Benchmark {
+	m := map[string]float64{"ns/op": nsPerOp}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return Benchmark{Name: name, Iterations: 1, Metrics: m}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	oldB := mkBaseline(
+		bench("BenchmarkFast-8", 100, nil),
+		bench("BenchmarkSlow-8", 1000, map[string]float64{"B/op": 64}),
+		bench("BenchmarkSame-8", 500, nil),
+	)
+	newB := mkBaseline(
+		bench("BenchmarkFast-8", 114, nil),                             // +14%: inside 15%
+		bench("BenchmarkSlow-8", 1300, map[string]float64{"B/op": 64}), // +30%: regression
+		bench("BenchmarkSame-8", 400, nil),                             // improvement
+		bench("BenchmarkNew-8", 1, nil),                                // added
+	)
+	report, regs := Compare(oldB, newB, 0.15)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", len(regs), regs)
+	}
+	r := regs[0]
+	if r.Name != "BenchmarkSlow-8" || r.Metric != "ns/op" {
+		t.Fatalf("wrong regression flagged: %+v", r)
+	}
+	if r.Ratio < 0.29 || r.Ratio > 0.31 {
+		t.Fatalf("ratio %v, want ~0.30", r.Ratio)
+	}
+	for _, want := range []string{"REGRESSION", "new (no baseline)", "1 regression(s)"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	oldB := mkBaseline(bench("BenchmarkA-8", 100, map[string]float64{"allocs/op": 3}))
+	newB := mkBaseline(bench("BenchmarkA-8", 105, map[string]float64{"allocs/op": 3}))
+	report, regs := Compare(oldB, newB, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("clean run flagged %+v", regs)
+	}
+	if !strings.Contains(report, "no regressions beyond tolerance") {
+		t.Fatalf("report missing clean banner:\n%s", report)
+	}
+}
+
+func TestCompareMissingBenchmarkWarnsButPasses(t *testing.T) {
+	oldB := mkBaseline(bench("BenchmarkGone-8", 100, nil), bench("BenchmarkKept-8", 10, nil))
+	newB := mkBaseline(bench("BenchmarkKept-8", 10, nil))
+	report, regs := Compare(oldB, newB, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("missing benchmark treated as regression: %+v", regs)
+	}
+	if !strings.Contains(report, "MISSING") {
+		t.Fatalf("report missing MISSING warning:\n%s", report)
+	}
+}
+
+func TestCompareZeroBaselineAllocRegression(t *testing.T) {
+	oldB := mkBaseline(bench("BenchmarkTight-8", 100, map[string]float64{"allocs/op": 0}))
+	newB := mkBaseline(bench("BenchmarkTight-8", 100, map[string]float64{"allocs/op": 2}))
+	_, regs := Compare(oldB, newB, 0.15)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("0 -> 2 allocs/op not flagged: %+v", regs)
+	}
+}
+
+func TestCompareIgnoresCustomUnits(t *testing.T) {
+	oldB := mkBaseline(bench("BenchmarkX-8", 100, map[string]float64{"widgets/op": 1}))
+	newB := mkBaseline(bench("BenchmarkX-8", 100, map[string]float64{"widgets/op": 99}))
+	_, regs := Compare(oldB, newB, 0.15)
+	if len(regs) != 0 {
+		t.Fatalf("custom unit gated: %+v", regs)
+	}
+}
+
+// writeBaseline marshals a baseline to a temp file for the CLI-level tests.
+func writeBaseline(t *testing.T, dir, name string, b *Baseline) string {
+	t.Helper()
+	blob, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeBaseline(t, dir, "old.json", mkBaseline(bench("BenchmarkA-8", 100, nil)))
+	slowPath := writeBaseline(t, dir, "slow.json", mkBaseline(bench("BenchmarkA-8", 200, nil)))
+	okPath := writeBaseline(t, dir, "ok.json", mkBaseline(bench("BenchmarkA-8", 101, nil)))
+
+	var out strings.Builder
+	if err := runCompare([]string{oldPath, okPath}, &out); err != nil {
+		t.Fatalf("clean compare failed: %v", err)
+	}
+	out.Reset()
+	err := runCompare([]string{oldPath, slowPath, "-tol", "0.15"}, &out)
+	if err == nil {
+		t.Fatal("2x slowdown passed the 15% gate")
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("error %q does not mention regression", err)
+	}
+	// A generous tolerance admits the same slowdown.
+	out.Reset()
+	if err := runCompare([]string{"-tol", "1.5", oldPath, slowPath}, &out); err != nil {
+		t.Fatalf("2x slowdown failed the 150%% gate: %v", err)
+	}
+}
+
+func TestRunCompareUsageErrors(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		{},
+		{"one.json"},
+		{"a.json", "b.json", "c.json"},
+		{"a.json", "b.json", "-tol"},
+		{"a.json", "b.json", "-tol", "fast"},
+		{"no-such-old.json", "no-such-new.json"},
+	} {
+		if err := runCompare(args, &out); err == nil {
+			t.Errorf("runCompare(%v) accepted bad arguments", args)
+		}
+	}
+}
+
+func TestRunCompareRejectsEmptyBaseline(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"benchmarks":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	good := writeBaseline(t, dir, "good.json", mkBaseline(bench("BenchmarkA-8", 1, nil)))
+	var out strings.Builder
+	if err := runCompare([]string{empty, good}, &out); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}

@@ -8,16 +8,36 @@
 // The converter is intentionally lossless about metrics: every
 // "<value> <unit>" pair a benchmark line reports (ns/op, B/op, allocs/op,
 // custom units) lands in the metrics map under its unit.
+//
+// With -compare it judges a fresh baseline against a committed one and exits
+// non-zero when any time/alloc metric regressed beyond the tolerance:
+//
+//	benchjson -compare BENCH_xval.json BENCH_new.json -tol 0.15
 package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 )
 
 func main() {
+	args := os.Args[1:]
+	if len(args) > 0 && args[0] == "-compare" {
+		if err := runCompare(args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(args) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: unknown arguments %v\nusage: benchjson < bench.txt  |  benchjson -compare old.json new.json [-tol 0.15]\n", args)
+		os.Exit(2)
+	}
 	if err := run(os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -44,4 +64,61 @@ func run(in io.Reader, out io.Writer) error {
 	}
 	_, err = fmt.Fprintln(out, string(b))
 	return err
+}
+
+// runCompare implements `-compare old.json new.json [-tol 0.15]`. The flag
+// may come before or after the files (the stdlib flag package would stop at
+// the first positional, so the few options are parsed by hand).
+func runCompare(args []string, out io.Writer) error {
+	tol := 0.15
+	var files []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-tol" {
+			i++
+			if i >= len(args) {
+				return errors.New("-tol needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil || v < 0 {
+				return fmt.Errorf("bad -tol value %q", args[i])
+			}
+			tol = v
+			continue
+		}
+		files = append(files, args[i])
+	}
+	if len(files) != 2 {
+		return errors.New("usage: benchjson -compare old.json new.json [-tol 0.15]")
+	}
+	oldB, err := readBaseline(files[0])
+	if err != nil {
+		return err
+	}
+	newB, err := readBaseline(files[1])
+	if err != nil {
+		return err
+	}
+	report, regressions := Compare(oldB, newB, tol)
+	if _, err := io.WriteString(out, report); err != nil {
+		return err
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s) beyond %.0f%% vs %s", len(regressions), tol*100, files[0])
+	}
+	return nil
+}
+
+func readBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: baseline holds no benchmarks", path)
+	}
+	return &b, nil
 }

@@ -40,6 +40,10 @@ func TestRunEveryExperimentSubcommand(t *testing.T) {
 		{[]string{"graph", "-model", "split"}, []string{"digraph"}},
 		{[]string{"plan"}, []string{"Design aids", "Deadline risk"}},
 		{[]string{"xval", "-quick"}, []string{"Cross-validation", "all model/simulator pairs agree"}},
+		{[]string{"scenario", "-family", "uniform", "-quick"},
+			[]string{"Scenario engine", "winner:", "cross-check clean"}},
+		{[]string{"scenario", "-spec", "../../testdata/scenarios/quickstart.json"},
+			[]string{"staged-pipeline", "winner:", "cross-check clean"}},
 	}
 	for _, c := range cases {
 		c := c
@@ -60,6 +64,8 @@ func TestRunUsageErrors(t *testing.T) {
 		{},
 		{"no-such-command"},
 		{"table1", "-no-such-flag"},
+		{"scenario"},
+		{"scenario", "-spec", "a.json", "-family", "uniform"},
 	} {
 		var out strings.Builder
 		err := Run(args, &out)
@@ -74,6 +80,8 @@ func TestRunRejectsBadOperands(t *testing.T) {
 		{"trace", "-scheme", "bogus"},
 		{"graph", "-model", "bogus"},
 		{"fig5", "-quick", "-rhos", "one,two"},
+		{"scenario", "-family", "bogus"},
+		{"scenario", "-spec", "no-such-spec.json"},
 	} {
 		var out strings.Builder
 		err := Run(args, &out)
@@ -124,6 +132,59 @@ func TestXValSeedOffsetIsIndependentReplication(t *testing.T) {
 	b := runOK(t, "xval", "-quick", "-seed", "7")
 	if a == b {
 		t.Fatal("different -seed produced an identical xval report")
+	}
+}
+
+// TestScenarioJSONReport checks the machine-readable scenario mode: valid
+// JSON, zero cross-check failures, and an advised winner for every scenario.
+func TestScenarioJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scenario family")
+	}
+	out := runOK(t, "scenario", "-family", "deadline-sweep", "-quick", "-json")
+	var rep struct {
+		Crit      float64 `json:"crit"`
+		K         int     `json:"statistical_comparisons"`
+		Failures  int     `json:"failures"`
+		Scenarios []struct {
+			Summary struct {
+				Name string `json:"name"`
+			} `json:"summary"`
+			Advice struct {
+				Winner  string `json:"winner"`
+				Ranking []struct {
+					Strategy     string  `json:"strategy"`
+					OverheadRate float64 `json:"overhead_rate"`
+				} `json:"ranking"`
+			} `json:"advice"`
+		} `json:"scenarios"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("scenario -json did not emit valid JSON: %v", err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("deadline-sweep family reported %d cross-check failures", rep.Failures)
+	}
+	if rep.K == 0 || rep.Crit <= 0 || len(rep.Scenarios) == 0 {
+		t.Fatalf("report looks empty: K=%d crit=%v scenarios=%d", rep.K, rep.Crit, len(rep.Scenarios))
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Advice.Winner == "" || len(sc.Advice.Ranking) == 0 {
+			t.Fatalf("scenario %q has no advised winner", sc.Summary.Name)
+		}
+	}
+}
+
+// TestScenarioWorkersFlagNeverChangesResults pins the acceptance criterion
+// that scenario reports are bit-identical for any -workers value.
+func TestScenarioWorkersFlagNeverChangesResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a scenario family twice")
+	}
+	a := runOK(t, "scenario", "-family", "pipeline", "-quick", "-workers", "1")
+	b := runOK(t, "scenario", "-family", "pipeline", "-quick", "-workers", "4")
+	if a != b {
+		t.Fatal("scenario output differs between -workers 1 and -workers 4")
 	}
 }
 

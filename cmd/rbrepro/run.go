@@ -6,6 +6,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 
@@ -44,7 +45,9 @@ func Run(args []string, stdout io.Writer) error {
 	lambda := fs.Float64("lambda", 2.0, "per-pair interaction rate (prp)")
 	scheme := fs.String("scheme", "sync", "trace scheme: sync or prp")
 	model := fs.String("model", "full", "graph model: full, symmetric or split")
-	jsonOut := fs.Bool("json", false, "emit the machine-readable report (xval)")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable report (xval, scenario)")
+	specPath := fs.String("spec", "", "scenario spec file to run (scenario)")
+	family := fs.String("family", "", "built-in scenario family to run (scenario)")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			_, werr := io.Copy(stdout, &flagOut)
@@ -174,6 +177,8 @@ func Run(args []string, stdout io.Writer) error {
 			}
 		case "xval":
 			return runXVal(stdout, *quick, *seed, *workers, *jsonOut)
+		case "scenario":
+			return runScenario(stdout, *specPath, *family, *quick, *seed, *workers, *jsonOut)
 		case "all":
 			for _, sub := range []string{"table1", "fig5", "fig6", "sync", "prp", "domino", "plan"} {
 				fmt.Fprintf(stdout, "================ %s ================\n", sub)
@@ -200,6 +205,61 @@ func Run(args []string, stdout io.Writer) error {
 	}
 
 	return run(cmd)
+}
+
+// runScenario loads a workload — a spec file or a built-in family — runs the
+// batch engine, and prints the advisor report. Any model↔simulator
+// cross-check disagreement is returned as an error so the process exits
+// non-zero: advice whose numbers the simulators dispute must not look like
+// success in a pipeline.
+func runScenario(stdout io.Writer, specPath, family string, quick bool, seed int64, workers int, jsonOut bool) error {
+	var scs []rb.Scenario
+	var err error
+	switch {
+	case specPath != "" && family != "":
+		return fmt.Errorf("%w: give -spec or -family, not both", errUsage)
+	case specPath != "":
+		// -quick is a family knob: spec files carry their own replication
+		// budgets as data.
+		data, rerr := os.ReadFile(specPath)
+		if rerr != nil {
+			return rerr
+		}
+		scs, err = rb.LoadScenarios(data)
+	case family != "":
+		scs, err = rb.DefaultScenarioFamily(family, quick)
+	default:
+		return fmt.Errorf("%w: scenario needs -spec <file> or -family <name> (built-ins: %s)",
+			errUsage, strings.Join(rb.ScenarioFamilies(), ", "))
+	}
+	if err != nil {
+		return err
+	}
+	// Spec and family seeds are pinned for reproducibility; a non-default
+	// -seed shifts them all, replicating the whole batch on disjoint
+	// substreams (the same convention as xval).
+	if seed != 1983 {
+		for i := range scs {
+			scs[i].Seed += seed - 1983
+		}
+	}
+	rep, err := rb.RunScenarios(scs, rb.ScenarioOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		fmt.Fprintln(stdout, rep.Format())
+	}
+	if rep.Failures > 0 {
+		return fmt.Errorf("scenario: %d cross-check disagreement(s)", rep.Failures)
+	}
+	return nil
 }
 
 // runXVal sweeps the cross-validation grid and reports; any model↔simulator

@@ -1,0 +1,96 @@
+// Advisor: the paper's payoff as a library call. A deployment is described
+// as data — a versioned JSON scenario spec — and the strategy advisor prices
+// each recovery organization (asynchronous recovery blocks, synchronized
+// recovery blocks, pseudo recovery points) from the exact models: the
+// long-run fraction of computing power lost to checkpointing,
+// synchronization waits and expected rollback, plus the probability of
+// missing the deadline. The output is the advisor's ranking per scenario;
+// `rbrepro scenario` adds the simulator cross-checks on top.
+//
+// The spec is embedded so the example is self-contained; testdata/scenarios/
+// ships the same format as files.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rb "recoveryblocks"
+)
+
+const spec = `{
+  "version": 1,
+  "scenarios": [
+    {
+      "name": "payment-triad",
+      "mu": [1, 1, 1],
+      "rho": 2,
+      "checkpoint_cost": 0.05,
+      "deadline": 3,
+      "error_rate": 0.05,
+      "reps": 2000,
+      "seed": 1983
+    },
+    {
+      "name": "flaky-cluster",
+      "mu": [1, 1, 1],
+      "rho": 2,
+      "checkpoint_cost": 0.05,
+      "deadline": 3,
+      "error_rate": 0.5,
+      "reps": 2000,
+      "seed": 1983
+    },
+    {
+      "name": "slow-replica",
+      "mu": [1, 1, 0.25],
+      "rho": 2,
+      "sync_interval": "optimal",
+      "checkpoint_cost": 0.02,
+      "error_rate": 0.2,
+      "reps": 2000,
+      "seed": 1983
+    }
+  ]
+}`
+
+func main() {
+	scenarios, err := rb.LoadScenarios([]byte(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, sc := range scenarios {
+		advice, err := rb.Advise(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (n=%d, theta=%g):\n", sc.Name, len(sc.Mu), sc.ErrorRate)
+		for rank, m := range advice.Ranking {
+			miss := ""
+			if m.DeadlineMissProb >= 0 {
+				miss = fmt.Sprintf("  P(miss %.3g) = %.4f", sc.Deadline, m.DeadlineMissProb)
+			}
+			fmt.Printf("  %d. %-5s  overhead %.4f/t  (ckpt %.4f + sync %.4f + rollback %.4f)  E[rollback] %.3f%s\n",
+				rank+1, m.Strategy, m.OverheadRate, m.CheckpointRate, m.SyncLossRate, m.RollbackRate, m.MeanRollback, miss)
+		}
+		fmt.Printf("  -> use %s (margin %.4f/t; runner-up costs %.1f%% more)\n\n",
+			advice.Winner, advice.Margin, 100*advice.MarginRel)
+	}
+
+	// The same decision, swept: as the error rate grows, the advisor's
+	// winner moves from the cheap-but-unbounded asynchronous organization
+	// to bounded-rollback ones — the trade-off of the paper's Section 5.
+	fmt.Println("winner vs error rate (n=3, mu=1, rho=2, t_r=0.05):")
+	base := scenarios[0]
+	for _, theta := range []float64{0.01, 0.1, 0.3, 1, 3} {
+		sc := base
+		sc.Name = fmt.Sprintf("sweep-theta-%g", theta)
+		sc.ErrorRate = theta
+		advice, err := rb.Advise(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  theta %-5g -> %-5s (overhead %.4f/t)\n",
+			theta, advice.Winner, advice.Ranking[0].OverheadRate)
+	}
+}

@@ -15,7 +15,7 @@ var updateExamples = flag.Bool("update-examples", false, "rewrite the example go
 // to completion with a zero exit status, and print byte-identical output on
 // every run (the runtime seeds all randomness deterministically and the
 // examples print no wall-clock quantities).
-var exampleNames = []string{"bankteller", "flightctl", "pipeline", "quickstart"}
+var exampleNames = []string{"advisor", "bankteller", "flightctl", "pipeline", "quickstart"}
 
 // TestExamplesRunDeterministically executes each example twice via `go run`
 // and compares both runs against the pinned golden output. Refresh the

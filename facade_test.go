@@ -119,6 +119,57 @@ func TestFacadeCrossValidate(t *testing.T) {
 	}
 }
 
+func TestFacadeScenarioEngine(t *testing.T) {
+	scs, err := LoadScenarios([]byte(`{
+	  "version": 1,
+	  "scenarios": [{
+	    "name": "facade", "mu": [1, 1, 1], "rho": 2,
+	    "checkpoint_cost": 0.05, "error_rate": 0.1, "deadline": 3,
+	    "reps": 2000, "seed": 7
+	  }]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 || scs[0].Name != "facade" {
+		t.Fatalf("LoadScenarios returned %+v", scs)
+	}
+
+	adv, err := Advise(scs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Winner == "" || len(adv.Ranking) != 3 {
+		t.Fatalf("advice incomplete: %+v", adv)
+	}
+
+	rep, err := RunScenarios(scs, ScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("facade scenario run reported %d disagreements:\n%s", rep.Failures, rep.Format())
+	}
+	if rep.Scenarios[0].Advice.Winner != adv.Winner {
+		t.Fatal("RunScenarios and Advise disagree on the winner")
+	}
+
+	fams := ScenarioFamilies()
+	if len(fams) != 6 {
+		t.Fatalf("families: %v", fams)
+	}
+	grid, err := DefaultScenarioFamily("uniform", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) < 2 {
+		t.Fatalf("uniform family expanded to %d scenarios", len(grid))
+	}
+	if _, err := DefaultScenarioFamily("bogus", true); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
 func TestFacadeExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments in -short mode")

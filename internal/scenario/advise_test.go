@@ -1,0 +1,195 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"recoveryblocks/internal/synch"
+)
+
+// baseScenario is a small scenario the advisor tests mutate.
+func baseScenario() Scenario {
+	return Scenario{
+		Name:           "base",
+		Mu:             []float64{1, 1, 1},
+		Lambda:         uniformLambda(3, 1),
+		SyncInterval:   1,
+		CheckpointCost: 0.05,
+		Deadline:       3,
+		ErrorRate:      0.05,
+		PLocal:         0.5,
+		Strategies:     AllStrategies(),
+		Reps:           1000,
+		Seed:           1,
+	}
+}
+
+func TestAdviseRanksAllStrategies(t *testing.T) {
+	adv, err := Advise(baseScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Ranking) != 3 {
+		t.Fatalf("ranking has %d entries", len(adv.Ranking))
+	}
+	for i := 1; i < len(adv.Ranking); i++ {
+		if adv.Ranking[i].OverheadRate < adv.Ranking[i-1].OverheadRate {
+			t.Fatal("ranking not sorted ascending by overhead")
+		}
+	}
+	if adv.Winner != adv.Ranking[0].Strategy {
+		t.Fatal("winner is not the cheapest strategy")
+	}
+	if adv.Margin < 0 || adv.MarginRel < 0 {
+		t.Fatalf("negative margin: %v / %v", adv.Margin, adv.MarginRel)
+	}
+	for _, m := range adv.Ranking {
+		if m.OverheadRate <= 0 || math.IsNaN(m.OverheadRate) {
+			t.Fatalf("%s overhead = %v", m.Strategy, m.OverheadRate)
+		}
+		sum := m.CheckpointRate + m.SyncLossRate + m.RollbackRate
+		if math.Abs(sum-m.OverheadRate) > 1e-12 {
+			t.Fatalf("%s components %v do not sum to overhead %v", m.Strategy, sum, m.OverheadRate)
+		}
+		if m.DeadlineMissProb < 0 || m.DeadlineMissProb > 1 {
+			t.Fatalf("%s miss prob = %v with a deadline set", m.Strategy, m.DeadlineMissProb)
+		}
+		if m.MeanRollback <= 0 {
+			t.Fatalf("%s mean rollback = %v", m.Strategy, m.MeanRollback)
+		}
+	}
+}
+
+func TestAdviseZeroErrorRateHasNoRollbackCost(t *testing.T) {
+	sc := baseScenario()
+	sc.ErrorRate = 0
+	adv, err := Advise(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range adv.Ranking {
+		switch m.Strategy {
+		case StrategySync:
+			// sync still pays commitment waits, but no θ-weighted rollback.
+			if m.RollbackRate != 0 {
+				t.Fatalf("sync rollback rate %v at θ=0", m.RollbackRate)
+			}
+			if m.SyncLossRate <= 0 {
+				t.Fatal("sync loss vanished")
+			}
+		default:
+			if m.RollbackRate != 0 {
+				t.Fatalf("%s rollback rate %v at θ=0", m.Strategy, m.RollbackRate)
+			}
+		}
+	}
+}
+
+func TestAdvisePRPCheckpointRate(t *testing.T) {
+	// PRP saves n states per RP event: total rate t_r·Σμ per process.
+	sc := baseScenario()
+	adv, err := Advise(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range adv.Ranking {
+		if m.Strategy != StrategyPRP {
+			continue
+		}
+		want := sc.CheckpointCost * 3 // Σμ = 3
+		if math.Abs(m.CheckpointRate-want) > 1e-12 {
+			t.Fatalf("prp checkpoint rate %v, want %v", m.CheckpointRate, want)
+		}
+	}
+}
+
+func TestAdviseAsyncVsPRPCheckpointOrdering(t *testing.T) {
+	// Async saves one state per RP, PRP saves n: at θ=0 async is strictly
+	// cheaper, so it must win.
+	sc := baseScenario()
+	sc.ErrorRate = 0
+	adv, err := Advise(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Winner != StrategyAsync {
+		t.Fatalf("at θ=0 the winner is %s, want async", adv.Winner)
+	}
+}
+
+func TestAdviseHighErrorRateDethronesAsync(t *testing.T) {
+	// Async rollback is unbounded in expectation as errors become frequent
+	// (the domino effect); a bounded-rollback organization must win.
+	sc := baseScenario()
+	sc.ErrorRate = 5
+	adv, err := Advise(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Winner == StrategyAsync {
+		t.Fatalf("async won at θ=5 (ranking %+v)", adv.Ranking)
+	}
+}
+
+func TestAdviseOptimalSyncMatchesSynch(t *testing.T) {
+	sc := baseScenario()
+	sc.OptimalSync = true
+	sc.SyncInterval = 0
+	adv, err := Advise(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTau, _, err := synch.OptimalInterval(sc.Mu, sc.ErrorRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range adv.Ranking {
+		if m.Strategy == StrategySync && math.Abs(m.SyncInterval-wantTau) > 1e-12 {
+			t.Fatalf("advisor tau %v, synch.OptimalInterval %v", m.SyncInterval, wantTau)
+		}
+	}
+}
+
+func TestAdviseDeadlineMissOrdering(t *testing.T) {
+	// PRP bounds rollback by max y_i; its miss probability must not exceed
+	// the sync cycle's (which adds τ on top of the same max).
+	sc := baseScenario()
+	adv, err := Advise(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prp, sync float64
+	for _, m := range adv.Ranking {
+		switch m.Strategy {
+		case StrategyPRP:
+			prp = m.DeadlineMissProb
+		case StrategySync:
+			sync = m.DeadlineMissProb
+		}
+	}
+	if prp > sync {
+		t.Fatalf("P(miss): prp %v > sync %v", prp, sync)
+	}
+}
+
+func TestAdviseNoDeadlineSentinel(t *testing.T) {
+	sc := baseScenario()
+	sc.Deadline = 0
+	adv, err := Advise(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range adv.Ranking {
+		if m.DeadlineMissProb != -1 {
+			t.Fatalf("%s miss prob = %v without a deadline, want -1", m.Strategy, m.DeadlineMissProb)
+		}
+	}
+}
+
+func TestAdviseRejectsInvalidScenario(t *testing.T) {
+	sc := baseScenario()
+	sc.Mu = nil
+	if _, err := Advise(sc); err == nil {
+		t.Fatal("Advise accepted an invalid scenario")
+	}
+}

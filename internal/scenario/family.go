@@ -1,0 +1,379 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+
+	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/rbmodel"
+)
+
+// A scenario family is a parameterized generator: one FamilySpec expands into
+// a grid of concrete scenarios sweeping the axes the family is about. The
+// built-in families cover the workload shapes the paper's trade-offs hinge
+// on:
+//
+//   - uniform: identical processes, n × ρ grid — the Figure 5 axis;
+//   - hot-pair: one pair interacts far more than the rest — the workload
+//     asymmetry that breaks the lumped model's assumptions;
+//   - pipeline: chain interaction structure λ_{i,i+1} only — producer/consumer
+//     stages;
+//   - straggler: one process establishes recovery points much more slowly —
+//     the slow process that dominates E[Z] and the PRP rollback bound;
+//   - deadline-sweep: fixed dynamics, sweeping the deadline — where the
+//     advisor's ranking flips from throughput-driven to risk-driven;
+//   - random: a seeded sample of the whole parameter space — grid-free
+//     coverage, reproducible from its seed.
+//
+// Shared knobs (checkpoint_cost, error_rate, deadline, sync_interval,
+// p_local, strategies, reps, seed) apply to every generated scenario; each
+// family applies its own defaults for knobs left unset.
+
+// FamilySpec is a named, parameterized scenario generator as written in a
+// spec file (or built by DefaultFamily for the CLI).
+type FamilySpec struct {
+	// Family selects the generator; see Families for the built-in names.
+	Family string `json:"family"`
+	// Name prefixes every generated scenario name; default is the family
+	// name.
+	Name string `json:"name,omitempty"`
+	// N lists the process counts to sweep.
+	N []int `json:"n,omitempty"`
+	// Mu is the base per-process recovery-point rate (default 1).
+	Mu float64 `json:"mu,omitempty"`
+	// Rho lists the relative interaction densities ρ to sweep.
+	Rho []float64 `json:"rho,omitempty"`
+	// Hot lists the hot-pair inflation factors (hot-pair family).
+	Hot []float64 `json:"hot,omitempty"`
+	// Slow lists the straggler slowdown factors (straggler family).
+	Slow []float64 `json:"slow,omitempty"`
+	// Deadlines lists the deadlines to sweep (deadline-sweep family).
+	Deadlines []float64 `json:"deadlines,omitempty"`
+	// Count is the number of scenarios to draw (random family).
+	Count int `json:"count,omitempty"`
+
+	SyncInterval   SyncSpec `json:"sync_interval"`
+	CheckpointCost float64  `json:"checkpoint_cost,omitempty"`
+	Deadline       float64  `json:"deadline,omitempty"`
+	ErrorRate      float64  `json:"error_rate,omitempty"`
+	PLocal         *float64 `json:"p_local,omitempty"`
+	Strategies     []string `json:"strategies,omitempty"`
+	Reps           int      `json:"reps,omitempty"`
+	Seed           int64    `json:"seed,omitempty"`
+}
+
+// Families returns the built-in family names, in canonical order.
+func Families() []string {
+	return []string{"uniform", "hot-pair", "pipeline", "straggler", "deadline-sweep", "random"}
+}
+
+// DefaultFamily returns the named family with its default parameters — the
+// grid `rbrepro scenario -family <name>` runs. quick substitutes the QuickReps
+// replication budget for the default one.
+func DefaultFamily(name string, quick bool) (FamilySpec, error) {
+	found := false
+	for _, f := range Families() {
+		if f == name {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return FamilySpec{}, fmt.Errorf("scenario: unknown family %q (built-ins: %v)", name, Families())
+	}
+	f := FamilySpec{Family: name}
+	if quick {
+		f.Reps = QuickReps
+	}
+	return f, nil
+}
+
+// scenarioSeedStride separates the seeds of consecutive generated scenarios
+// so their estimators (which offset further from the scenario seed) never
+// share substream families.
+const scenarioSeedStride = 1_000_003
+
+// Expand generates the family's scenario grid. Every generated scenario goes
+// through the same Resolve/Validate gate as hand-written ones.
+func (f FamilySpec) Expand() ([]Scenario, error) {
+	if f.Family == "" {
+		return nil, fmt.Errorf("scenario: family needs a \"family\" name (built-ins: %v)", Families())
+	}
+	base := f // copy with defaults applied
+	if base.Name == "" {
+		base.Name = base.Family
+	}
+	if base.Mu == 0 {
+		base.Mu = 1
+	}
+	if base.Seed == 0 {
+		base.Seed = DefaultSeed
+	}
+	if base.CheckpointCost == 0 {
+		base.CheckpointCost = 0.05
+	}
+	if base.ErrorRate == 0 {
+		base.ErrorRate = 0.05
+	}
+
+	var specs []ScenarioSpec
+	var err error
+	switch base.Family {
+	case "uniform":
+		specs, err = base.expandUniform()
+	case "hot-pair":
+		specs, err = base.expandHotPair()
+	case "pipeline":
+		specs, err = base.expandPipeline()
+	case "straggler":
+		specs, err = base.expandStraggler()
+	case "deadline-sweep":
+		specs, err = base.expandDeadlineSweep()
+	case "random":
+		specs, err = base.expandRandom()
+	default:
+		return nil, fmt.Errorf("scenario: unknown family %q (built-ins: %v)", base.Family, Families())
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Scenario, 0, len(specs))
+	for i, ss := range specs {
+		ss.SyncInterval = base.SyncInterval
+		ss.CheckpointCost = base.CheckpointCost
+		ss.ErrorRate = base.ErrorRate
+		ss.PLocal = base.PLocal
+		ss.Strategies = base.Strategies
+		ss.Reps = base.Reps
+		ss.Seed = base.Seed + int64(i)*scenarioSeedStride
+		if ss.Deadline == 0 {
+			ss.Deadline = base.Deadline
+		}
+		sc, err := ss.Resolve()
+		if err != nil {
+			return nil, fmt.Errorf("scenario: family %q: %w", base.Family, err)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// fnum renders a float compactly for scenario names (2, 0.5, 1.25).
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// checkFamilyN bounds a family's process count before any n-sized slice is
+// built — the families need interacting processes (n ≥ 2) and the exact
+// solvers cap n, and a hostile count from a spec file must error, not
+// allocate.
+func checkFamilyN(family string, n int) error {
+	if n < 2 {
+		return fmt.Errorf("%s family needs n ≥ 2, got %d", family, n)
+	}
+	if n > rbmodel.MaxExactProcesses {
+		return fmt.Errorf("%s family: n = %d exceeds the exact solver's limit %d",
+			family, n, rbmodel.MaxExactProcesses)
+	}
+	return nil
+}
+
+// uniformMu builds an n-vector of the base rate.
+func (f FamilySpec) uniformMu(n int) []float64 {
+	mu := make([]float64, n)
+	for i := range mu {
+		mu[i] = f.Mu
+	}
+	return mu
+}
+
+// pairLambda converts a target ρ into the uniform per-pair rate for n
+// identical processes of rate mu: λ = ρ·mu/(n−1).
+func pairLambda(rho, mu float64, n int) float64 {
+	return rho * mu / float64(n-1)
+}
+
+func (f FamilySpec) expandUniform() ([]ScenarioSpec, error) {
+	ns := f.N
+	if ns == nil {
+		ns = []int{2, 3, 4}
+	}
+	rhos := f.Rho
+	if rhos == nil {
+		rhos = []float64{1, 2, 4}
+	}
+	var out []ScenarioSpec
+	for _, n := range ns {
+		if err := checkFamilyN("uniform", n); err != nil {
+			return nil, err
+		}
+		for _, rho := range rhos {
+			out = append(out, ScenarioSpec{
+				Name: fmt.Sprintf("%s/n%d/rho%s", f.Name, n, fnum(rho)),
+				Mu:   f.uniformMu(n),
+				Rho:  rho,
+			})
+		}
+	}
+	return out, nil
+}
+
+func (f FamilySpec) expandHotPair() ([]ScenarioSpec, error) {
+	ns := f.N
+	if ns == nil {
+		ns = []int{3, 4}
+	}
+	rho := 2.0
+	if len(f.Rho) > 0 {
+		rho = f.Rho[0]
+	}
+	hots := f.Hot
+	if hots == nil {
+		hots = []float64{2, 4, 8}
+	}
+	var out []ScenarioSpec
+	for _, n := range ns {
+		if err := checkFamilyN("hot-pair", n); err != nil {
+			return nil, err
+		}
+		for _, h := range hots {
+			if h <= 0 {
+				return nil, fmt.Errorf("hot-pair factor %v must be positive", h)
+			}
+			base := pairLambda(rho, f.Mu, n)
+			m := uniformLambda(n, base)
+			m[0][1] *= h
+			m[1][0] *= h
+			out = append(out, ScenarioSpec{
+				Name:         fmt.Sprintf("%s/n%d/hot%s", f.Name, n, fnum(h)),
+				Mu:           f.uniformMu(n),
+				LambdaMatrix: m,
+			})
+		}
+	}
+	return out, nil
+}
+
+func (f FamilySpec) expandPipeline() ([]ScenarioSpec, error) {
+	ns := f.N
+	if ns == nil {
+		ns = []int{3, 4, 6}
+	}
+	rho := 2.0
+	if len(f.Rho) > 0 {
+		rho = f.Rho[0]
+	}
+	var out []ScenarioSpec
+	for _, n := range ns {
+		if err := checkFamilyN("pipeline", n); err != nil {
+			return nil, err
+		}
+		// Chain λ_{i,i+1} only; preserve the target ρ = 2·Σλ/Σμ over the
+		// n−1 links: λ_link = ρ·n·mu/(2(n−1)).
+		link := rho * float64(n) * f.Mu / (2 * float64(n-1))
+		m := uniformLambda(n, 0)
+		for i := 0; i+1 < n; i++ {
+			m[i][i+1] = link
+			m[i+1][i] = link
+		}
+		out = append(out, ScenarioSpec{
+			Name:         fmt.Sprintf("%s/n%d/rho%s", f.Name, n, fnum(rho)),
+			Mu:           f.uniformMu(n),
+			LambdaMatrix: m,
+		})
+	}
+	return out, nil
+}
+
+func (f FamilySpec) expandStraggler() ([]ScenarioSpec, error) {
+	ns := f.N
+	if ns == nil {
+		ns = []int{3, 4}
+	}
+	rho := 2.0
+	if len(f.Rho) > 0 {
+		rho = f.Rho[0]
+	}
+	slows := f.Slow
+	if slows == nil {
+		slows = []float64{2, 4}
+	}
+	var out []ScenarioSpec
+	for _, n := range ns {
+		if err := checkFamilyN("straggler", n); err != nil {
+			return nil, err
+		}
+		for _, s := range slows {
+			if s <= 0 {
+				return nil, fmt.Errorf("straggler factor %v must be positive", s)
+			}
+			mu := f.uniformMu(n)
+			mu[n-1] = f.Mu / s
+			out = append(out, ScenarioSpec{
+				Name:   fmt.Sprintf("%s/n%d/slow%s", f.Name, n, fnum(s)),
+				Mu:     mu,
+				Lambda: pairLambda(rho, f.Mu, n),
+			})
+		}
+	}
+	return out, nil
+}
+
+func (f FamilySpec) expandDeadlineSweep() ([]ScenarioSpec, error) {
+	n := 3
+	if len(f.N) > 0 {
+		n = f.N[0]
+	}
+	if err := checkFamilyN("deadline-sweep", n); err != nil {
+		return nil, err
+	}
+	rho := 2.0
+	if len(f.Rho) > 0 {
+		rho = f.Rho[0]
+	}
+	deadlines := f.Deadlines
+	if deadlines == nil {
+		deadlines = []float64{1, 2, 3, 4, 6}
+	}
+	var out []ScenarioSpec
+	for _, d := range deadlines {
+		if d <= 0 {
+			return nil, fmt.Errorf("deadline %v must be positive", d)
+		}
+		out = append(out, ScenarioSpec{
+			Name:     fmt.Sprintf("%s/n%d/d%s", f.Name, n, fnum(d)),
+			Mu:       f.uniformMu(n),
+			Rho:      rho,
+			Deadline: d,
+		})
+	}
+	return out, nil
+}
+
+// expandRandom draws Count scenarios from a seeded substream family:
+// reproducible coverage of the parameter space without a grid. Each draw gets
+// its own substream so inserting a scenario never shifts the others.
+func (f FamilySpec) expandRandom() ([]ScenarioSpec, error) {
+	count := f.Count
+	if count == 0 {
+		count = 6
+	}
+	if count < 1 {
+		return nil, fmt.Errorf("random family needs count ≥ 1, got %d", count)
+	}
+	var out []ScenarioSpec
+	for i := 0; i < count; i++ {
+		rng := dist.Substream(f.Seed, i)
+		n := 2 + rng.Intn(4) // 2..5 processes
+		mu := make([]float64, n)
+		for j := range mu {
+			mu[j] = f.Mu * (0.5 + 2*rng.Float64()) // 0.5x..2.5x the base rate
+		}
+		rho := 0.5 + 3.5*rng.Float64() // ρ in [0.5, 4)
+		out = append(out, ScenarioSpec{
+			Name: fmt.Sprintf("%s/%d", f.Name, i+1),
+			Mu:   mu,
+			Rho:  rho,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestEveryBuiltinFamilyExpands(t *testing.T) {
+	for _, name := range Families() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			f, err := DefaultFamily(name, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scs, err := f.Expand()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(scs) < 2 {
+				t.Fatalf("family %s expanded to %d scenarios", name, len(scs))
+			}
+			seen := map[string]bool{}
+			for _, sc := range scs {
+				if err := sc.Validate(); err != nil {
+					t.Errorf("generated scenario invalid: %v", err)
+				}
+				if !strings.HasPrefix(sc.Name, name) {
+					t.Errorf("scenario %q not prefixed by family name", sc.Name)
+				}
+				if seen[sc.Name] {
+					t.Errorf("duplicate generated name %q", sc.Name)
+				}
+				seen[sc.Name] = true
+				if sc.Reps != QuickReps {
+					t.Errorf("quick reps not applied: %d", sc.Reps)
+				}
+			}
+		})
+	}
+}
+
+func TestDefaultFamilyUnknown(t *testing.T) {
+	if _, err := DefaultFamily("exotic", false); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestFamilySeedsAreDistinct(t *testing.T) {
+	f, err := DefaultFamily("uniform", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[int64]bool{}
+	for _, sc := range scs {
+		if seeds[sc.Seed] {
+			t.Fatalf("two scenarios share seed %d", sc.Seed)
+		}
+		seeds[sc.Seed] = true
+	}
+}
+
+func TestHotPairInflatesOnePair(t *testing.T) {
+	f := FamilySpec{Family: "hot-pair", N: []int{3}, Hot: []float64{4}, Reps: 500}
+	scs, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scs[0]
+	if sc.Lambda[0][1] != 4*sc.Lambda[0][2] {
+		t.Fatalf("hot pair not inflated: λ01=%v λ02=%v", sc.Lambda[0][1], sc.Lambda[0][2])
+	}
+	if sc.Lambda[0][1] != sc.Lambda[1][0] {
+		t.Fatal("inflated pair not symmetric")
+	}
+}
+
+func TestPipelineIsChainWithTargetRho(t *testing.T) {
+	f := FamilySpec{Family: "pipeline", N: []int{4}, Rho: []float64{2}, Reps: 500}
+	scs, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scs[0]
+	if sc.Lambda[0][2] != 0 || sc.Lambda[0][3] != 0 || sc.Lambda[1][3] != 0 {
+		t.Fatalf("pipeline has non-chain links: %v", sc.Lambda)
+	}
+	if sc.Lambda[0][1] == 0 || sc.Lambda[1][2] == 0 || sc.Lambda[2][3] == 0 {
+		t.Fatalf("pipeline missing chain links: %v", sc.Lambda)
+	}
+	if got := sc.Params().Rho(); got < 1.999 || got > 2.001 {
+		t.Fatalf("pipeline rho = %v, want 2", got)
+	}
+}
+
+func TestStragglerSlowsLastProcess(t *testing.T) {
+	f := FamilySpec{Family: "straggler", N: []int{3}, Slow: []float64{4}, Reps: 500}
+	scs, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := scs[0]
+	n := len(sc.Mu)
+	if sc.Mu[n-1] != sc.Mu[0]/4 {
+		t.Fatalf("straggler rate %v, want %v", sc.Mu[n-1], sc.Mu[0]/4)
+	}
+}
+
+func TestDeadlineSweepSetsDeadlines(t *testing.T) {
+	f := FamilySpec{Family: "deadline-sweep", Deadlines: []float64{1.5, 3}, Reps: 500}
+	scs, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 || scs[0].Deadline != 1.5 || scs[1].Deadline != 3 {
+		t.Fatalf("deadlines not applied: %+v", scs)
+	}
+}
+
+func TestRandomFamilyIsSeedDeterministic(t *testing.T) {
+	f := FamilySpec{Family: "random", Count: 5, Seed: 42, Reps: 500}
+	a, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different random grids")
+	}
+	f.Seed = 43
+	c, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical random grids")
+	}
+}
+
+func TestFamilyExpandRejects(t *testing.T) {
+	for _, f := range []FamilySpec{
+		{},
+		{Family: "uniform", N: []int{1}},
+		{Family: "hot-pair", Hot: []float64{-1}},
+		{Family: "straggler", Slow: []float64{0}},
+		{Family: "deadline-sweep", Deadlines: []float64{0}},
+		{Family: "random", Count: -1},
+		{Family: "pipeline", N: []int{1}},
+	} {
+		if _, err := f.Expand(); err == nil {
+			t.Errorf("Expand(%+v) accepted a bad family", f)
+		}
+	}
+}

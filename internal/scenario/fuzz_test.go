@@ -1,0 +1,39 @@
+package scenario
+
+import "testing"
+
+// FuzzDecodeSpec pins the decoder's failure contract: whatever bytes arrive —
+// truncated JSON, wrong types, hostile numbers, unknown fields, oversized
+// grids — Load either returns scenarios that survive Validate, or an error.
+// It must never panic: the decoder fronts user-written spec files on the CLI
+// and, eventually, network requests.
+func FuzzDecodeSpec(f *testing.F) {
+	f.Add([]byte(validSpec))
+	f.Add([]byte(`{"version":1,"scenarios":[{"name":"x","n":2}]}`))
+	f.Add([]byte(`{"version":1,"families":[{"family":"uniform","reps":500}]}`))
+	f.Add([]byte(`{"version":1,"families":[{"family":"random","count":3,"seed":7}]}`))
+	f.Add([]byte(`{"version":1,"scenarios":[{"name":"x","mu":[1,2],"lambda_matrix":[[0,1],[1,0]],"sync_interval":"optimal","error_rate":0.1}]}`))
+	f.Add([]byte(`{"version":1,"scenarios":[{"name":"x","n":2,"rho":1e308}]}`))
+	f.Add([]byte(`{"version":-1}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"version":1,"scenarios":[{"name":"x","n":9999999}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scs, err := Load(data)
+		if err != nil {
+			return
+		}
+		if len(scs) == 0 {
+			t.Fatal("Load returned no scenarios and no error")
+		}
+		for _, sc := range scs {
+			// Everything Load hands back must already be valid: the batch
+			// runner trusts it.
+			if verr := sc.Validate(); verr != nil {
+				t.Fatalf("Load returned an invalid scenario: %v", verr)
+			}
+		}
+	})
+}

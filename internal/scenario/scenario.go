@@ -1,0 +1,64 @@
+// Package scenario is the declarative workload layer: it turns the paper's
+// engineering decision — given n cooperating processes, their recovery-point
+// and interaction rates, a checkpoint cost, an error rate and a deadline,
+// which recovery organization is cheapest? — into data instead of code.
+//
+// A workload arrives as a versioned JSON spec (see Spec) holding concrete
+// scenarios and/or parameterized scenario families (see FamilySpec) that
+// expand into grids of concrete scenarios. The batch runner (Run) fans the
+// expanded grid across the deterministic Monte Carlo worker pool of
+// internal/mc, evaluating every scenario under each requested strategy with
+// the exact models (rbmodel for asynchronous recovery blocks, synch for
+// synchronized ones, prpmodel for pseudo recovery points) and cross-checking
+// each exact value against the corresponding discrete-event simulator
+// (internal/sim) with the confidence-interval equivalence tests of
+// internal/stats — the same oracle discipline as internal/xval, applied to
+// user workloads instead of a fixed validation grid.
+//
+// On top of the evaluation sits the strategy advisor (Advise): for one
+// scenario it computes, per strategy, the long-run fraction of computing
+// power lost to checkpointing, synchronization and expected rollback, plus
+// the deadline-miss probability, and ranks the strategies by total overhead.
+// The report (Report) is machine-readable; Run's cross-checks make its
+// numbers trustworthy, and fixed seeds make them bit-identical for every
+// worker count.
+//
+// The engine is surfaced as facade exports (LoadScenarios, RunScenarios,
+// Advise), the `rbrepro scenario` subcommand, and shipped spec files under
+// testdata/scenarios/ pinned by golden reports.
+package scenario
+
+import "fmt"
+
+// SpecVersion is the scenario-spec schema version this package decodes.
+// Version mismatches are rejected by Decode, never guessed at.
+const SpecVersion = 1
+
+// Strategy names one of the paper's three recovery organizations.
+type Strategy string
+
+const (
+	// StrategyAsync is asynchronous recovery blocks (Section 2): no
+	// coordination, rollback propagation and the domino effect.
+	StrategyAsync Strategy = "async"
+	// StrategySync is synchronized recovery blocks (Section 3): commitment
+	// waits at test lines in exchange for guaranteed recovery lines.
+	StrategySync Strategy = "sync"
+	// StrategyPRP is pseudo recovery points (Section 4): implanted states
+	// bound the rollback distance without forced waits.
+	StrategyPRP Strategy = "prp"
+)
+
+// AllStrategies returns every strategy, in the canonical report order.
+func AllStrategies() []Strategy {
+	return []Strategy{StrategyAsync, StrategySync, StrategyPRP}
+}
+
+// ParseStrategy converts a spec-file strategy name.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(s) {
+	case StrategyAsync, StrategySync, StrategyPRP:
+		return Strategy(s), nil
+	}
+	return "", fmt.Errorf("scenario: unknown strategy %q (want async, sync or prp)", s)
+}

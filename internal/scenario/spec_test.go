@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// validSpec is the reference document the decoder tests mutate.
+const validSpec = `{
+  "version": 1,
+  "scenarios": [
+    {
+      "name": "web-tier",
+      "mu": [1, 1, 1],
+      "rho": 2,
+      "sync_interval": 1.0,
+      "checkpoint_cost": 0.05,
+      "deadline": 3,
+      "error_rate": 0.05,
+      "reps": 5000,
+      "seed": 1983
+    },
+    {
+      "name": "optimal-sync",
+      "n": 4,
+      "mu_uniform": 2,
+      "lambda": 0.5,
+      "sync_interval": "optimal",
+      "error_rate": 0.1,
+      "strategies": ["sync", "prp"]
+    }
+  ],
+  "families": [
+    {"family": "deadline-sweep", "deadlines": [2, 4], "reps": 500}
+  ]
+}`
+
+func TestLoadValidSpec(t *testing.T) {
+	scs, err := Load([]byte(validSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 4 { // 2 concrete + 2 from the family
+		t.Fatalf("got %d scenarios, want 4", len(scs))
+	}
+	web := scs[0]
+	if web.Name != "web-tier" || len(web.Mu) != 3 || web.Deadline != 3 {
+		t.Fatalf("web-tier resolved wrong: %+v", web)
+	}
+	// rho=2 with uniform mu resolves to the λ = ρ/(n−1) convention.
+	if got := web.Lambda[0][1]; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("rho=2, n=3, mu=1 should give λ=1, got %v", got)
+	}
+	if got := web.Params().Rho(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("round-trip rho = %v, want 2", got)
+	}
+	if len(web.Strategies) != 3 {
+		t.Fatalf("default strategies = %v, want all three", web.Strategies)
+	}
+	if web.PLocal != DefaultPLocal {
+		t.Fatalf("default p_local = %v", web.PLocal)
+	}
+
+	opt := scs[1]
+	if !opt.OptimalSync {
+		t.Fatal("sync_interval \"optimal\" not resolved")
+	}
+	if opt.Reps != DefaultReps || opt.Seed != DefaultSeed {
+		t.Fatalf("defaults not applied: reps=%d seed=%d", opt.Reps, opt.Seed)
+	}
+	if len(opt.Strategies) != 2 || opt.Strategies[0] != StrategySync {
+		t.Fatalf("explicit strategies = %v", opt.Strategies)
+	}
+	for _, m := range opt.Mu {
+		if m != 2 {
+			t.Fatalf("mu_uniform not applied: %v", opt.Mu)
+		}
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"empty", ``, "bad spec"},
+		{"not-json", `{{{`, "bad spec"},
+		{"unknown-field", `{"version":1,"scenarios":[{"name":"x","n":2,"bogus":1}]}`, "bogus"},
+		{"bad-version", `{"version":2}`, "version"},
+		{"trailing", `{"version":1}{"version":1}`, "trailing"},
+		{"bad-sync-string", `{"version":1,"scenarios":[{"name":"x","n":2,"sync_interval":"never"}]}`, "optimal"},
+		{"sync-object", `{"version":1,"scenarios":[{"name":"x","n":2,"sync_interval":{}}]}`, "sync_interval"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Decode([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("Decode accepted %q", c.doc)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestExpandRejects(t *testing.T) {
+	cases := []struct {
+		name, doc, want string
+	}{
+		{"no-scenarios", `{"version":1}`, "no scenarios"},
+		{"nameless", `{"version":1,"scenarios":[{"n":2}]}`, "name"},
+		{"no-rates", `{"version":1,"scenarios":[{"name":"x"}]}`, "mu"},
+		{"n-vs-mu", `{"version":1,"scenarios":[{"name":"x","n":2,"mu":[1,1,1]}]}`, "contradicts"},
+		{"mu-and-uniform", `{"version":1,"scenarios":[{"name":"x","mu":[1],"mu_uniform":2}]}`, "exclusive"},
+		{"two-shapes", `{"version":1,"scenarios":[{"name":"x","n":2,"lambda":1,"rho":2}]}`, "exclusive"},
+		{"rho-single", `{"version":1,"scenarios":[{"name":"x","n":1,"rho":2}]}`, "two processes"},
+		{"neg-mu", `{"version":1,"scenarios":[{"name":"x","mu":[1,-1]}]}`, "positive"},
+		{"asym-matrix", `{"version":1,"scenarios":[{"name":"x","n":2,"lambda_matrix":[[0,1],[2,0]]}]}`, "symmetric"},
+		{"bad-strategy", `{"version":1,"scenarios":[{"name":"x","n":2,"strategies":["turbo"]}]}`, "turbo"},
+		{"dup-strategy", `{"version":1,"scenarios":[{"name":"x","n":2,"strategies":["prp","prp"]}]}`, "twice"},
+		{"tiny-reps", `{"version":1,"scenarios":[{"name":"x","n":2,"reps":10}]}`, "100"},
+		{"neg-deadline", `{"version":1,"scenarios":[{"name":"x","n":2,"deadline":-1}]}`, "deadline"},
+		{"neg-tau", `{"version":1,"scenarios":[{"name":"x","n":2,"sync_interval":-2}]}`, "sync_interval"},
+		{"optimal-no-theta", `{"version":1,"scenarios":[{"name":"x","n":2,"sync_interval":"optimal"}]}`, "error_rate"},
+		{"bad-plocal", `{"version":1,"scenarios":[{"name":"x","n":2,"p_local":1.5}]}`, "p_local"},
+		{"too-many", `{"version":1,"scenarios":[{"name":"x","n":32}]}`, "limit"},
+		{"huge-n", `{"version":1,"scenarios":[{"name":"x","n":1000000000000000}]}`, "limit"},
+		{"huge-mu", `{"version":1,"scenarios":[{"name":"x","mu":[` + strings.Repeat("1,", 30) + `1]}]}`, "limit"},
+		{"huge-family-n", `{"version":1,"families":[{"family":"uniform","n":[1000000000000000]}]}`, "limit"},
+		{"huge-sweep-n", `{"version":1,"families":[{"family":"deadline-sweep","n":[1000000000000000]}]}`, "limit"},
+		{"dup-names", `{"version":1,"scenarios":[{"name":"x","n":2},{"name":"x","n":3}]}`, "duplicate"},
+		{"bad-family", `{"version":1,"families":[{"family":"exotic"}]}`, "exotic"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Load([]byte(c.doc))
+			if err == nil {
+				t.Fatalf("Load accepted %q", c.doc)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestOptimalSyncOnlyGatedWhenSyncRequested(t *testing.T) {
+	// "optimal" with θ=0 is fine as long as the sync strategy is not asked
+	// for — the unbounded optimum is never evaluated.
+	doc := `{"version":1,"scenarios":[{"name":"x","n":2,"lambda":1,"sync_interval":"optimal","strategies":["async","prp"]}]}`
+	if _, err := Load([]byte(doc)); err != nil {
+		t.Fatalf("optimal without sync strategy should validate: %v", err)
+	}
+}
+
+func TestValidateHandBuiltScenario(t *testing.T) {
+	sc := Scenario{
+		Name:         "hand",
+		Mu:           []float64{1, 2},
+		Lambda:       uniformLambda(2, 0.5),
+		SyncInterval: 1,
+		PLocal:       0.5,
+		Strategies:   AllStrategies(),
+		Reps:         1000,
+		Seed:         1,
+	}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sc.Lambda[0][1] = -1
+	sc.Lambda[1][0] = -1
+	if err := sc.Validate(); err == nil {
+		t.Fatal("negative λ accepted")
+	}
+}
+
+func TestResolveSyncInterval(t *testing.T) {
+	sc := Scenario{
+		Name: "x", Mu: []float64{1, 1, 1}, Lambda: uniformLambda(3, 1),
+		SyncInterval: 2.5, PLocal: 0.5, Strategies: AllStrategies(), Reps: 1000, Seed: 1,
+	}
+	tau, err := sc.ResolveSyncInterval()
+	if err != nil || tau != 2.5 {
+		t.Fatalf("fixed interval: tau=%v err=%v", tau, err)
+	}
+	sc.OptimalSync = true
+	sc.ErrorRate = 0.1
+	tau, err = sc.ResolveSyncInterval()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau <= 0 || math.IsNaN(tau) {
+		t.Fatalf("optimal tau = %v", tau)
+	}
+}
+
+func TestSyncSpecRoundTrip(t *testing.T) {
+	for _, s := range []SyncSpec{{Optimal: true}, {Tau: 1.5}} {
+		b, err := s.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back SyncSpec
+		if err := back.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if back != s {
+			t.Fatalf("round trip %+v -> %s -> %+v", s, b, back)
+		}
+	}
+}

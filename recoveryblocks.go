@@ -38,12 +38,21 @@
 // CrossValidate, XValShortGrid, XValFullGrid): every simulator/model pair is
 // checked over a scenario grid with confidence-interval equivalence tests,
 // via `rbrepro xval`, the go test suite, and golden regression files.
+//
+// On top of all of it sits the declarative scenario engine (internal/scenario,
+// re-exported as LoadScenarios, RunScenarios, Advise): workloads are data — a
+// versioned JSON spec of concrete scenarios and parameterized families — and
+// the strategy advisor prices each recovery organization per scenario
+// (overhead per unit time, deadline-miss probability), cross-checking every
+// advised number against the simulators. See `rbrepro scenario` and the spec
+// files under testdata/scenarios/.
 package recoveryblocks
 
 import (
 	"recoveryblocks/internal/core"
 	"recoveryblocks/internal/expt"
 	"recoveryblocks/internal/rbmodel"
+	"recoveryblocks/internal/scenario"
 	"recoveryblocks/internal/sim"
 	"recoveryblocks/internal/synch"
 	"recoveryblocks/internal/xval"
@@ -311,3 +320,76 @@ func XValFullGrid() []XValScenario { return xval.FullGrid() }
 func CrossValidate(grid []XValScenario, opt XValOptions) (*XValReport, error) {
 	return xval.Run(grid, opt)
 }
+
+// ---- Scenario engine (internal/scenario) ----
+
+// Aliases re-exporting the declarative scenario engine and strategy advisor:
+// workloads as data, evaluated under every requested recovery organization
+// with the exact models, cross-checked against the simulators, and ranked.
+type (
+	// Scenario is one fully resolved workload (build via LoadScenarios,
+	// DefaultScenarioFamily, or by hand followed by Validate).
+	Scenario = scenario.Scenario
+	// ScenarioSpec is the versioned JSON document holding scenarios and
+	// families; LoadScenarios decodes and expands it in one step.
+	ScenarioSpec = scenario.Spec
+	// ScenarioFamily is a parameterized scenario generator (uniform,
+	// hot-pair, pipeline, straggler, deadline-sweep, random).
+	ScenarioFamily = scenario.FamilySpec
+	// ScenarioStrategy names a recovery organization in a scenario
+	// ("async", "sync" or "prp"); distinct from the runtime's Strategy.
+	ScenarioStrategy = scenario.Strategy
+	// ScenarioOptions tunes a batch run (family-wise error rate, workers).
+	ScenarioOptions = scenario.Options
+	// ScenarioReport is the judged outcome of a batch run.
+	ScenarioReport = scenario.Report
+	// ScenarioResult is one scenario's slice of the report.
+	ScenarioResult = scenario.Result
+	// ScenarioCheck is one model↔simulator cross-check of the report.
+	ScenarioCheck = scenario.Check
+	// Advice is the advisor's ranking for one scenario.
+	Advice = scenario.Advice
+	// StrategyMetrics prices one organization for one scenario.
+	StrategyMetrics = scenario.StrategyMetrics
+)
+
+// Re-exported scenario strategy names.
+const (
+	// ScenarioAsync selects asynchronous recovery blocks (Section 2).
+	ScenarioAsync = scenario.StrategyAsync
+	// ScenarioSync selects synchronized recovery blocks (Section 3).
+	ScenarioSync = scenario.StrategySync
+	// ScenarioPRP selects pseudo recovery points (Section 4).
+	ScenarioPRP = scenario.StrategyPRP
+)
+
+// LoadScenarios decodes a versioned JSON spec (strictly: unknown fields,
+// trailing data and version mismatches are errors) and expands it into its
+// concrete scenario grid.
+func LoadScenarios(data []byte) ([]Scenario, error) { return scenario.Load(data) }
+
+// ScenarioFamilies returns the built-in family names.
+func ScenarioFamilies() []string { return scenario.Families() }
+
+// DefaultScenarioFamily expands the named built-in family with its default
+// parameter grid; quick substitutes the smoke-test replication budget.
+func DefaultScenarioFamily(name string, quick bool) ([]Scenario, error) {
+	f, err := scenario.DefaultFamily(name, quick)
+	if err != nil {
+		return nil, err
+	}
+	return f.Expand()
+}
+
+// RunScenarios evaluates every scenario of the batch — advisor pricing per
+// strategy plus model↔simulator cross-checks — fanning the grid across the
+// Monte Carlo worker pool. Fixed seeds make the report bit-identical for
+// every worker count.
+func RunScenarios(scs []Scenario, opt ScenarioOptions) (*ScenarioReport, error) {
+	return scenario.Run(scs, opt)
+}
+
+// Advise prices every requested strategy of one scenario from the exact
+// models alone (no simulation) and ranks them by expected overhead per unit
+// time; see RunScenarios for the cross-checked version.
+func Advise(sc Scenario) (*Advice, error) { return scenario.Advise(sc) }

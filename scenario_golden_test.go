@@ -1,0 +1,91 @@
+package recoveryblocks
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateScenarios = flag.Bool("update-scenarios", false, "rewrite the scenario golden reports from current output")
+
+// TestShippedScenarioSpecs runs every spec file under testdata/scenarios/
+// through the full engine and pins the human-readable report with a golden
+// file. This is the acceptance gate of the scenario layer: for every scenario
+// the exact-model and simulator estimates must pass the equivalence tests and
+// the advisor must name a winning strategy — and because every estimator is
+// seeded and the batch fan-out is deterministic, the report is bit-identical
+// across runs and worker counts. Refresh the goldens intentionally with
+//
+//	go test -run TestShippedScenarioSpecs . -update-scenarios
+func TestShippedScenarioSpecs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs Monte Carlo cross-checks")
+	}
+	specs, err := filepath.Glob(filepath.Join("testdata", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 2 {
+		t.Fatalf("want at least the two shipped spec files, found %v", specs)
+	}
+	for _, spec := range specs {
+		spec := spec
+		name := strings.TrimSuffix(filepath.Base(spec), ".json")
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scs, err := LoadScenarios(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := RunScenarios(scs, ScenarioOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Failures != 0 {
+				for _, c := range rep.Failed() {
+					t.Errorf("FAIL %s/%s: model %v vs simulated %v (stat %v, crit %v)",
+						c.Scenario, c.Name, c.Ref, c.Est, c.Stat, c.Crit)
+				}
+				t.Fatalf("%d cross-check disagreement(s) in %s", rep.Failures, spec)
+			}
+			for _, res := range rep.Scenarios {
+				if res.Advice.Winner == "" {
+					t.Errorf("scenario %q: advisor named no winner", res.Summary.Name)
+				}
+			}
+
+			// Worker-count invariance on the real spec workloads, not just
+			// the unit-test batches.
+			rep1, err := RunScenarios(scs, ScenarioOptions{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := rep.Format()
+			if rep1.Format() != got {
+				t.Fatal("report differs between Workers=0 and Workers=1")
+			}
+
+			golden := filepath.Join("testdata", "scenarios", name+".golden")
+			if *updateScenarios {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", golden)
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-scenarios to create): %v", err)
+			}
+			if got != string(want) {
+				t.Fatalf("scenario report for %s drifted from its golden file.\n--- got ---\n%s--- want ---\n%s", spec, got, want)
+			}
+		})
+	}
+}
