@@ -300,7 +300,11 @@ func BenchmarkAdvise(b *testing.B) {
 // BenchmarkAbsorptionSolveDirect measures the dense LU absorption solve on
 // the full model at growing n (the 2^n scaling DESIGN.md calls out). Rates
 // follow the Figure 5 convention (μ = 1, λ = ρ/(n−1) at ρ = 2) so the
-// problem difficulty is comparable across n.
+// problem difficulty is comparable across n. The dense route is invoked
+// explicitly: since PR 4, MeanX auto-selects the CSR solve above
+// markov.SparseCutoff, and this benchmark exists to keep the dense
+// trajectory visible next to it (see BenchmarkHotPaths for the gated
+// dense-vs-sparse pair).
 func BenchmarkAbsorptionSolveDirect(b *testing.B) {
 	for _, n := range []int{4, 6, 8, 10} {
 		p := rbmodel.Uniform(n, 1, 2/float64(n-1))
@@ -310,7 +314,7 @@ func BenchmarkAbsorptionSolveDirect(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := m.MeanX(); err != nil {
+				if _, _, err := m.Chain().AbsorptionMomentsDense(m.Entry()); err != nil {
 					b.Fatal(err)
 				}
 			}

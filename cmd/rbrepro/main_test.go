@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"errors"
+	"os"
 	"strings"
 	"testing"
 )
@@ -198,5 +199,44 @@ func TestWorkersFlagNeverChangesResults(t *testing.T) {
 	b := runOK(t, "table1", "-quick", "-workers", "4")
 	if a != b {
 		t.Fatal("table1 output differs between -workers 1 and -workers 4")
+	}
+}
+
+// TestProfilingFlags smoke-tests -cpuprofile/-memprofile the same way the
+// other subcommand flags are: run a real (quick) command end to end and
+// assert both profile files exist and are non-empty. The profile contents
+// are pprof's concern; the seam under test is that the flags wrap every
+// command and the files are flushed before Run returns.
+func TestProfilingFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs an experiment driver")
+	}
+	dir := t.TempDir()
+	cpu := dir + "/cpu.out"
+	mem := dir + "/mem.out"
+	runOK(t, "domino", "-quick", "-cpuprofile", cpu, "-memprofile", mem)
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile %s missing: %v", path, err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("profile %s is empty", path)
+		}
+	}
+}
+
+// TestProfilingFlagBadPath: an unwritable profile path must fail the run
+// with a plain command error, not be silently ignored.
+func TestProfilingFlagBadPath(t *testing.T) {
+	for _, flag := range []string{"-cpuprofile", "-memprofile"} {
+		var out strings.Builder
+		err := Run([]string{"domino", "-quick", flag, "/no/such/dir/prof.out"}, &out)
+		if err == nil {
+			t.Fatalf("unwritable %s path was accepted", flag)
+		}
+		if errors.Is(err, errUsage) {
+			t.Fatalf("%s I/O failure reported as a usage error", flag)
+		}
 	}
 }

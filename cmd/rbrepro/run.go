@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -48,6 +50,8 @@ func Run(args []string, stdout io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit the machine-readable report (xval, scenario)")
 	specPath := fs.String("spec", "", "scenario spec file to run (scenario)")
 	family := fs.String("family", "", "built-in scenario family to run (scenario)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the command to this file")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			_, werr := io.Copy(stdout, &flagOut)
@@ -61,6 +65,36 @@ func Run(args []string, stdout io.Writer) error {
 	}
 	sz.Seed = *seed
 	sz.Workers = *workers
+
+	// Profiling wraps whichever command runs below, so future performance
+	// work on any experiment driver starts from a profile rather than a
+	// guess: rbrepro <cmd> -cpuprofile cpu.out, then `go tool pprof`.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Create eagerly: a bad path must fail the run up front (like
+		// -cpuprofile), not after minutes of work with only a stderr note.
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle allocations so the heap profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "rbrepro: memprofile:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	var run func(string) error
 	run = func(name string) error {

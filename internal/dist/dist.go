@@ -63,18 +63,21 @@ func Substream(baseSeed int64, index int) *Stream {
 	return NewStream(int64(splitmix64(&x)))
 }
 
-func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
-
-// Uint64 returns the next raw 64-bit output (xoshiro256**).
+// Uint64 returns the next raw 64-bit output (xoshiro256**). It is written
+// against the bits.RotateLeft64 intrinsic and kept under the compiler's
+// inlining budget on purpose: every variate in the simulators' hot loops
+// bottoms out here, and the call overhead would otherwise dominate the
+// arithmetic (see BenchmarkAliasSample).
 func (s *Stream) Uint64() uint64 {
-	r := rotl(s.s[1]*5, 7) * 9
-	t := s.s[1] << 17
+	s1 := s.s[1]
+	r := bits.RotateLeft64(s1*5, 7) * 9
+	t := s1 << 17
 	s.s[2] ^= s.s[0]
-	s.s[3] ^= s.s[1]
+	s.s[3] ^= s1
 	s.s[1] ^= s.s[2]
 	s.s[0] ^= s.s[3]
 	s.s[2] ^= t
-	s.s[3] = rotl(s.s[3], 45)
+	s.s[3] = bits.RotateLeft64(s.s[3], 45)
 	return r
 }
 

@@ -1,0 +1,79 @@
+package dist
+
+import "math"
+
+// Normal returns a standard normal variate via Marsaglia's polar method.
+// The second variate the method produces is deliberately discarded: caching
+// it would make the draw count depend on call history, which complicates
+// reasoning about substream usage for no measurable gain in the places
+// Normal is called (once per Gamma rejection round, not per event).
+func (s *Stream) Normal() float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return u * math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Gamma returns a Gamma(shape, rate) variate (mean shape/rate) using the
+// Marsaglia–Tsang squeeze method for shape ≥ 1 and the standard boost
+// Gamma(a) = Gamma(a+1)·U^{1/a} below it. The method is an exact rejection
+// sampler — the output distribution is Gamma to full float precision, not an
+// approximation — and costs O(1) draws for every shape.
+func (s *Stream) Gamma(shape, rate float64) float64 {
+	if shape <= 0 || rate <= 0 {
+		panic("dist: Gamma needs positive shape and rate")
+	}
+	if shape < 1 {
+		u := 1 - s.Float64() // (0, 1]: the power stays finite
+		return s.Gamma(shape+1, rate) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.Normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := 1 - s.Float64() // (0, 1]: the log below stays finite
+		x2 := x * x
+		if u < 1-0.0331*x2*x2 {
+			return d * v / rate
+		}
+		if math.Log(u) < 0.5*x2+d*(1-v+math.Log(v)) {
+			return d * v / rate
+		}
+	}
+}
+
+// erlangDirectMax is the shape below which Erlang sums exponentials
+// directly: for tiny k the k logs are cheaper than the Gamma sampler's
+// normal variates and squeeze tests.
+const erlangDirectMax = 8
+
+// Erlang returns the sum of k independent Exp(rate) variates — the Erlang
+// (integer-shape Gamma) distribution — in O(1) time for large k. The
+// simulators use it to collapse runs of exponential holding times whose
+// individual values are never observed: by the independence of holding times
+// and jump targets in a superposed Poisson process, an interval that
+// contains k events has total length Erlang(k, g) regardless of which
+// categories fired, so one Erlang draw replaces k per-event clock draws.
+// It panics if k <= 0.
+func (s *Stream) Erlang(k int, rate float64) float64 {
+	if k <= 0 {
+		panic("dist: Erlang needs k >= 1")
+	}
+	if k < erlangDirectMax {
+		sum := 0.0
+		for i := 0; i < k; i++ {
+			sum += s.Exp(rate)
+		}
+		return sum
+	}
+	return s.Gamma(float64(k), rate)
+}

@@ -1,0 +1,121 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func moments(n int, draw func() float64) (mean, variance float64) {
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := draw()
+		sum += x
+		sum2 += x * x
+	}
+	mean = sum / float64(n)
+	variance = sum2/float64(n) - mean*mean
+	return mean, variance
+}
+
+func TestNormalMoments(t *testing.T) {
+	rng := NewStream(101)
+	const n = 1_000_000
+	mean, variance := moments(n, rng.Normal)
+	if math.Abs(mean) > 5/math.Sqrt(n) {
+		t.Errorf("mean = %v, want 0", mean)
+	}
+	if math.Abs(variance-1) > 0.01 {
+		t.Errorf("variance = %v, want 1", variance)
+	}
+	// Symmetry of the tail: P(X > 1.96) ≈ P(X < −1.96) ≈ 0.025.
+	hi, lo := 0, 0
+	for i := 0; i < n; i++ {
+		x := rng.Normal()
+		if x > 1.96 {
+			hi++
+		}
+		if x < -1.96 {
+			lo++
+		}
+	}
+	for _, c := range []int{hi, lo} {
+		p := float64(c) / n
+		if math.Abs(p-0.025) > 0.002 {
+			t.Errorf("tail mass %v, want 0.025", p)
+		}
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	rng := NewStream(202)
+	const n = 500_000
+	for _, c := range []struct{ shape, rate float64 }{
+		{0.5, 1}, {1, 2}, {2.5, 0.5}, {15, 3}, {1400, 16},
+	} {
+		mean, variance := moments(n, func() float64 { return rng.Gamma(c.shape, c.rate) })
+		wantMean := c.shape / c.rate
+		wantVar := c.shape / (c.rate * c.rate)
+		seMean := math.Sqrt(wantVar / n)
+		if math.Abs(mean-wantMean) > 6*seMean {
+			t.Errorf("Gamma(%v,%v): mean %v, want %v", c.shape, c.rate, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.05*wantVar+6*seMean {
+			t.Errorf("Gamma(%v,%v): variance %v, want %v", c.shape, c.rate, variance, wantVar)
+		}
+	}
+}
+
+// TestErlangMatchesExpSum pins the distributional identity the simulators
+// rely on: Erlang(k, rate) must be distributed as the sum of k exponentials,
+// across both the direct-sum and the Gamma-sampler regimes.
+func TestErlangMatchesExpSum(t *testing.T) {
+	rng := NewStream(303)
+	const n = 400_000
+	for _, k := range []int{1, 3, erlangDirectMax, 40} {
+		rate := 2.0
+		mean, variance := moments(n, func() float64 { return rng.Erlang(k, rate) })
+		wantMean := float64(k) / rate
+		wantVar := float64(k) / (rate * rate)
+		seMean := math.Sqrt(wantVar / n)
+		if math.Abs(mean-wantMean) > 6*seMean {
+			t.Errorf("Erlang(%d): mean %v, want %v", k, mean, wantMean)
+		}
+		if math.Abs(variance-wantVar) > 0.05*wantVar+6*seMean {
+			t.Errorf("Erlang(%d): variance %v, want %v", k, variance, wantVar)
+		}
+	}
+}
+
+func TestGammaRejectsBadParams(t *testing.T) {
+	rng := NewStream(1)
+	for _, c := range []struct{ shape, rate float64 }{{0, 1}, {-1, 1}, {1, 0}, {1, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Gamma(%v,%v) did not panic", c.shape, c.rate)
+				}
+			}()
+			rng.Gamma(c.shape, c.rate)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Erlang(0) did not panic")
+			}
+		}()
+		rng.Erlang(0, 1)
+	}()
+}
+
+func TestGammaZeroAlloc(t *testing.T) {
+	rng := NewStream(5)
+	sink := 0.0
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink += rng.Gamma(1400, 16)
+	})
+	if allocs != 0 {
+		t.Fatalf("Gamma allocates %v per draw, want 0", allocs)
+	}
+	_ = sink
+}

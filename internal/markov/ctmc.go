@@ -27,6 +27,7 @@ type CTMC struct {
 	n         int
 	rows      [][]Entry
 	absorbing []bool
+	degHint   int // pre-size for each row's first AddRate (0 = grow by append)
 }
 
 // NewCTMC returns an empty chain on n states.
@@ -35,6 +36,17 @@ func NewCTMC(n int) *CTMC {
 		panic("markov: CTMC needs at least one state")
 	}
 	return &CTMC{n: n, rows: make([][]Entry, n), absorbing: make([]bool, n)}
+}
+
+// ReserveDegree pre-sizes every row touched after this call to the given
+// out-degree, so chain construction appends without reallocation. Callers
+// that know the transition structure (the full model emits at most
+// n + C(n,2) transitions per state) set it before building; at 2^n states
+// the saved copying is a measurable slice of build time.
+func (c *CTMC) ReserveDegree(deg int) {
+	if deg > 0 {
+		c.degHint = deg
+	}
 }
 
 // N returns the number of states.
@@ -59,6 +71,9 @@ func (c *CTMC) AddRate(from, to int, rate float64) {
 			c.rows[from][i].Rate += rate
 			return
 		}
+	}
+	if c.rows[from] == nil && c.degHint > 0 {
+		c.rows[from] = make([]Entry, 0, c.degHint)
 	}
 	c.rows[from] = append(c.rows[from], Entry{To: to, Rate: rate})
 }
@@ -138,11 +153,54 @@ func (c *CTMC) transientIndex() ([]int, []int) {
 	return idx, order
 }
 
+// SparseCutoff is the transient-state count at and above which the
+// absorbing-chain solves switch from the dense LU route to the CSR
+// two-level Gauss–Seidel route. Below it the dense factorization is cheap,
+// trivially robust, and byte-for-byte reproducible against the historical
+// results; above it the O(nt³) dense cost explodes while the sparse route
+// stays proportional to the transition count (see AbsorptionMomentsSparse).
+const SparseCutoff = 256
+
+// sparse-solve accuracy knobs: tol is a normwise backward error (the same
+// class a backward-stable LU delivers), and the cycle budget is far above
+// anything the aggregated solver needs on chains whose level structure the
+// aggregation captures — it exists to turn pathological inputs into errors
+// instead of hangs.
+const (
+	gsTol     = 1e-12
+	gsMaxIter = 100000
+)
+
 // AbsorptionMoments returns the first and second moments of the absorption
 // time from the given start state, by solving Q_T·m1 = −1 and Q_T·m2 = −2·m1
 // on the transient generator. It fails if some transient state cannot reach
-// an absorbing state (singular system).
+// an absorbing state (singular system). State spaces below SparseCutoff take
+// the dense LU route; larger ones the sparse iterative route.
 func (c *CTMC) AbsorptionMoments(start int) (m1, m2 float64, err error) {
+	if c.absorbing[start] {
+		return 0, 0, nil
+	}
+	if c.transientCount() < SparseCutoff {
+		return c.AbsorptionMomentsDense(start)
+	}
+	return c.AbsorptionMomentsSparse(start)
+}
+
+// transientCount returns the number of non-absorbing states.
+func (c *CTMC) transientCount() int {
+	nt := 0
+	for _, a := range c.absorbing {
+		if !a {
+			nt++
+		}
+	}
+	return nt
+}
+
+// AbsorptionMomentsDense is the direct route: build the dense transient
+// generator and LU-factor it. Exposed so tests and benchmarks can compare
+// it against the sparse route at any size.
+func (c *CTMC) AbsorptionMomentsDense(start int) (m1, m2 float64, err error) {
 	if c.absorbing[start] {
 		return 0, 0, nil
 	}
@@ -178,6 +236,136 @@ func (c *CTMC) AbsorptionMoments(start int) (m1, m2 float64, err error) {
 	}
 	k := idx[start]
 	return h[k], h2[k], nil
+}
+
+// AbsorptionMomentsSparse solves the same two systems on a CSR copy of the
+// transient generator with the aggregated Gauss–Seidel solver, aggregating
+// states by their graph distance to the absorbing set. For the paper's
+// chains that distance recovers the popcount levels of the state vector —
+// exactly the partition under which uniform-rate chains lump — so the
+// coarse correction removes the slow quasi-stationary error mode and the
+// solve converges in a handful of sweeps where plain Gauss–Seidel needs
+// O(expected jumps to absorption) of them. Cost per sweep is O(transitions),
+// so the full solve scales like the transition count rather than the cube
+// of the state count.
+func (c *CTMC) AbsorptionMomentsSparse(start int) (m1, m2 float64, err error) {
+	if c.absorbing[start] {
+		return 0, 0, nil
+	}
+	idx, order := c.transientIndex()
+	q, agg, nAgg, err := c.transientCSR(idx, order, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	nt := len(order)
+	rhs := make([]float64, nt)
+	for i := range rhs {
+		rhs[i] = -1
+	}
+	h, _, err := q.SolveTwoLevelGS(rhs, agg, nAgg, gsTol, gsMaxIter)
+	if err != nil {
+		return 0, 0, fmt.Errorf("markov: sparse absorption solve: %w", err)
+	}
+	for i := range rhs {
+		rhs[i] = -2 * h[i]
+	}
+	h2, _, err := q.SolveTwoLevelGS(rhs, agg, nAgg, gsTol, gsMaxIter)
+	if err != nil {
+		return 0, 0, fmt.Errorf("markov: sparse absorption solve (second moment): %w", err)
+	}
+	k := idx[start]
+	return h[k], h2[k], nil
+}
+
+// transientCSR assembles the transient generator Q_T (or its transpose) in
+// CSR form together with the distance-to-absorption aggregation the sparse
+// solver uses as its coarse level. It fails if some transient state cannot
+// reach an absorbing state — the same singularity the dense route reports.
+func (c *CTMC) transientCSR(idx, order []int, transpose bool) (q *linalg.CSR, agg []int, nAgg int, err error) {
+	nt := len(order)
+	nnz := 0
+	for _, u := range order {
+		nnz += len(c.rows[u]) + 1
+	}
+
+	// Aggregates: BFS distance to the absorbing set over reversed edges.
+	// (For the recovery-block chains this is n − popcount + 1 — the level
+	// structure of the last-action vector.)
+	rev := make([][]int32, nt)
+	for k, u := range order {
+		for _, e := range c.rows[u] {
+			if j := idx[e.To]; j >= 0 {
+				rev[j] = append(rev[j], int32(k))
+			}
+		}
+	}
+	dist := make([]int, nt)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int32
+	for k, u := range order {
+		for _, e := range c.rows[u] {
+			if c.absorbing[e.To] {
+				if dist[k] < 0 {
+					dist[k] = 0
+					queue = append(queue, int32(k))
+				}
+				break
+			}
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range rev[v] {
+			if dist[w] < 0 {
+				dist[w] = dist[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	for k, d := range dist {
+		if d < 0 {
+			return nil, nil, 0, fmt.Errorf("markov: absorption unreachable from state %d", order[k])
+		}
+		if d+1 > nAgg {
+			nAgg = d + 1
+		}
+	}
+
+	b := linalg.NewCSRBuilder(nt, nnz)
+	if transpose {
+		// Gather Q_Tᵀ rows: incoming transitions plus the diagonal.
+		type inEdge struct {
+			from int32
+			rate float64
+		}
+		in := make([][]inEdge, nt)
+		for k, u := range order {
+			for _, e := range c.rows[u] {
+				if j := idx[e.To]; j >= 0 {
+					in[j] = append(in[j], inEdge{int32(k), e.Rate})
+				}
+			}
+		}
+		for k, u := range order {
+			b.Add(k, k, -c.OutRate(u))
+			for _, e := range in[k] {
+				b.Add(k, int(e.from), e.rate)
+			}
+		}
+	} else {
+		for k, u := range order {
+			b.Add(k, k, -c.OutRate(u))
+			for _, e := range c.rows[u] {
+				if j := idx[e.To]; j >= 0 {
+					b.Add(k, j, e.Rate)
+				}
+			}
+		}
+	}
+	return b.Build(), dist, nAgg, nil
 }
 
 // MeanAbsorptionTime returns E[time to absorption] from start.
@@ -227,7 +415,10 @@ func (c *CTMC) MeanAbsorptionTimeIterative(start int, tol float64, maxIter int) 
 
 // ExpectedOccupancy returns, for each state, the expected total time spent in
 // it before absorption when starting from start (0 for absorbing states).
-// It solves oᵀ·Q_T = −e_startᵀ.
+// It solves oᵀ·Q_T = −e_startᵀ — below SparseCutoff by a dense LU on the
+// transpose, above it by the sparse aggregated solver on the CSR transpose
+// (the transposed system has the same level structure, so the same
+// distance-to-absorption aggregation applies).
 func (c *CTMC) ExpectedOccupancy(start int) ([]float64, error) {
 	occ := make([]float64, c.n)
 	if c.absorbing[start] {
@@ -235,19 +426,36 @@ func (c *CTMC) ExpectedOccupancy(start int) ([]float64, error) {
 	}
 	idx, order := c.transientIndex()
 	nt := len(order)
-	// Build the transpose of Q_T directly so a single LU solve suffices.
-	qt := linalg.NewMatrix(nt, nt)
-	for k, u := range order {
-		for _, e := range c.rows[u] {
-			qt.Add(k, k, -e.Rate)
-			if j := idx[e.To]; j >= 0 {
-				qt.Add(j, k, e.Rate)
-			}
-		}
-	}
 	rhs := make([]float64, nt)
 	rhs[idx[start]] = -1
-	o, err := linalg.SolveLinear(qt, rhs)
+
+	var o []float64
+	var err error
+	if nt < SparseCutoff {
+		// Build the transpose of Q_T directly so a single LU solve suffices.
+		qt := linalg.NewMatrix(nt, nt)
+		for k, u := range order {
+			for _, e := range c.rows[u] {
+				qt.Add(k, k, -e.Rate)
+				if j := idx[e.To]; j >= 0 {
+					qt.Add(j, k, e.Rate)
+				}
+			}
+		}
+		o, err = linalg.SolveLinear(qt, rhs)
+	} else {
+		var qt *linalg.CSR
+		var agg []int
+		var nAgg int
+		qt, agg, nAgg, err = c.transientCSR(idx, order, true)
+		if err != nil {
+			return nil, err
+		}
+		o, _, err = qt.SolveTwoLevelGS(rhs, agg, nAgg, gsTol, gsMaxIter)
+		if err != nil {
+			err = fmt.Errorf("markov: sparse occupancy solve: %w", err)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}

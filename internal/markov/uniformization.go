@@ -1,6 +1,10 @@
 package markov
 
-import "math"
+import (
+	"math"
+
+	"recoveryblocks/internal/linalg"
+)
 
 // poissonWeights returns the Poisson(Λt) probabilities w_k for k = 0..K,
 // where K is chosen so that the truncated tail mass is below eps. Weights are
@@ -29,54 +33,118 @@ func poissonWeights(lambdaT, eps float64) []float64 {
 	return w
 }
 
-// TransientDistribution computes π(t) = π(0)·e^{Qt} by uniformization:
-// π(t) = Σ_k Pois(Λt; k)·π(0)·Pᵏ with P = I + Q/Λ. eps bounds the truncation
-// error in total variation.
-func (c *CTMC) TransientDistribution(pi0 []float64, t, eps float64) []float64 {
+// uniformizedStepper holds the uniformized jump chain P = I + Q/gamma in CSR
+// form plus the two ping-pong distribution buffers, so that evaluating a
+// whole transient trajectory builds the chain once and allocates nothing per
+// step. (The previous implementation rebuilt P — one allocation per chain
+// row — for every requested time point; CDF evaluations on fine grids pay
+// thousands of time points.)
+type uniformizedStepper struct {
+	p              *linalg.CSR
+	gamma          float64
+	cur, next, acc []float64
+}
+
+// newStepper uniformizes the chain at its maximum departure rate. A gamma of
+// zero (no transitions anywhere) yields a nil stepper; callers treat the
+// distribution as constant.
+func (c *CTMC) newStepper(pi0 []float64) *uniformizedStepper {
 	if len(pi0) != c.n {
 		panic("markov: initial distribution length mismatch")
 	}
-	if t == 0 {
-		return append([]float64(nil), pi0...)
-	}
 	gamma := c.MaxOutRate()
-	if gamma == 0 { // no transitions anywhere
-		return append([]float64(nil), pi0...)
+	if gamma == 0 {
+		return nil
 	}
-	p := c.Uniformized(gamma)
-	w := poissonWeights(gamma*t, eps)
-	cur := append([]float64(nil), pi0...)
-	out := make([]float64, c.n)
+	nnz := 1 // rows plus room for the self-loop each row may carry
+	for u := 0; u < c.n; u++ {
+		nnz += len(c.rows[u]) + 1
+	}
+	b := linalg.NewCSRBuilder(c.n, nnz)
+	for u := 0; u < c.n; u++ {
+		if c.absorbing[u] {
+			b.Add(u, u, 1) // absorbing states hold their mass
+			continue
+		}
+		stay := 1.0
+		for _, e := range c.rows[u] {
+			b.Add(u, e.To, e.Rate/gamma)
+			stay -= e.Rate / gamma
+		}
+		if stay > 0 {
+			b.Add(u, u, stay)
+		}
+	}
+	s := &uniformizedStepper{
+		p:     b.Build(),
+		gamma: gamma,
+		cur:   append([]float64(nil), pi0...),
+		next:  make([]float64, c.n),
+		acc:   make([]float64, c.n),
+	}
+	return s
+}
+
+// advance evolves the held distribution by time dt with truncation error eps
+// (in total variation), accumulating Σ_k Pois(γ·dt; k)·π·Pᵏ.
+func (s *uniformizedStepper) advance(dt, eps float64) {
+	if dt == 0 {
+		return
+	}
+	w := poissonWeights(s.gamma*dt, eps)
+	out := s.acc
+	for i := range out {
+		out[i] = 0
+	}
 	for k, wk := range w {
 		if k > 0 {
-			cur = p.StepDistribution(cur)
+			// One uniformized step π ← π·P: a transposed CSR scatter.
+			s.p.MulVecTransInto(s.next, s.cur)
+			s.cur, s.next = s.next, s.cur
 		}
 		if wk == 0 {
 			continue
 		}
-		for i, v := range cur {
+		for i, v := range s.cur {
 			out[i] += wk * v
 		}
 	}
-	return out
+	copy(s.cur, out)
+}
+
+// TransientDistribution computes π(t) = π(0)·e^{Qt} by uniformization:
+// π(t) = Σ_k Pois(Λt; k)·π(0)·Pᵏ with P = I + Q/Λ. eps bounds the truncation
+// error in total variation.
+func (c *CTMC) TransientDistribution(pi0 []float64, t, eps float64) []float64 {
+	s := c.newStepper(pi0)
+	if s == nil || t == 0 {
+		return append([]float64(nil), pi0...)
+	}
+	s.advance(t, eps)
+	return append([]float64(nil), s.cur...)
 }
 
 // TransientTrajectory evaluates π(t) at each requested time (nondecreasing,
-// starting ≥ 0), stepping incrementally so the cost is proportional to the
-// total horizon rather than the number of sample points squared.
+// starting ≥ 0), stepping one uniformized chain incrementally so the cost is
+// proportional to the total horizon rather than the number of sample points
+// squared, and the chain is assembled exactly once for the whole sweep.
 func (c *CTMC) TransientTrajectory(pi0 []float64, times []float64, eps float64) [][]float64 {
 	out := make([][]float64, len(times))
-	cur := append([]float64(nil), pi0...)
+	s := c.newStepper(pi0)
 	last := 0.0
 	for i, t := range times {
 		if t < last {
 			panic("markov: TransientTrajectory times must be nondecreasing")
 		}
+		if s == nil {
+			out[i] = append([]float64(nil), pi0...)
+			continue
+		}
 		if t > last {
-			cur = c.TransientDistribution(cur, t-last, eps)
+			s.advance(t-last, eps)
 			last = t
 		}
-		out[i] = append([]float64(nil), cur...)
+		out[i] = append([]float64(nil), s.cur...)
 	}
 	return out
 }

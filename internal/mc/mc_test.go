@@ -133,3 +133,30 @@ func TestWorkersResolution(t *testing.T) {
 		t.Fatal("defaulted worker count must be >= 1")
 	}
 }
+
+func TestMapOrderAndWorkerInvariance(t *testing.T) {
+	items := make([]int, 137)
+	for i := range items {
+		items[i] = 10 + i
+	}
+	base := Map(items, 1, func(i, item int) [2]int { return [2]int{i, item * item} })
+	if len(base) != len(items) {
+		t.Fatalf("len = %d, want %d", len(base), len(items))
+	}
+	for i, r := range base {
+		if r[0] != i || r[1] != items[i]*items[i] {
+			t.Fatalf("result %d = %v out of order", i, r)
+		}
+	}
+	for _, workers := range []int{2, 7, 0} {
+		got := Map(items, workers, func(i, item int) [2]int { return [2]int{i, item * item} })
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: result %d differs", workers, i)
+			}
+		}
+	}
+	if r := Map(nil, 4, func(i int, item struct{}) int { return i }); r != nil {
+		t.Fatalf("empty Map = %v, want nil", r)
+	}
+}

@@ -76,11 +76,10 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 		ms     []measurement
 		err    error
 	}
-	// One scenario per block: the plan and each scenario's substreams are
-	// independent of the worker count, so the fan-out changes wall-clock
-	// time only.
-	outs := mc.Run(len(scenarios), 1, opt.Workers, func(b mc.Block) evalOut {
-		sc := scenarios[b.Lo]
+	// One scenario per pool slot (mc.Map): the item order and each
+	// scenario's substreams are independent of the worker count, so the
+	// fan-out changes wall-clock time only.
+	outs := mc.Map(scenarios, opt.Workers, func(_ int, sc Scenario) evalOut {
 		adv, err := Advise(sc)
 		if err != nil {
 			return evalOut{err: err}
@@ -101,14 +100,14 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 	for _, o := range outs {
 		k += len(o.ms)
 	}
-	crit := stats.ZCrit(opt.Alpha, maxInt(k, 1))
+	crit := stats.ZCrit(opt.Alpha, max(k, 1))
 	rep := &Report{Alpha: opt.Alpha, Crit: crit, K: k}
 	for _, o := range outs {
 		res := Result{Summary: o.sum, Advice: *o.advice}
 		for _, m := range o.ms {
 			mcrit := crit
 			if m.kind == KindBatchT && m.dof >= 1 {
-				mcrit = stats.TCrit(opt.Alpha, maxInt(k, 1), m.dof)
+				mcrit = stats.TCrit(opt.Alpha, max(k, 1), m.dof)
 			}
 			c := m.judge(mcrit)
 			if !c.Pass {
@@ -120,13 +119,6 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 		rep.Scenarios = append(rep.Scenarios, res)
 	}
 	return rep, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // evaluate runs the cross-check estimators of one scenario — one simulator

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"testing"
+
+	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/rbmodel"
+)
+
+// These tests pin the PR-4 performance contract: once a block's scratch
+// buffers exist, the steady-state inner loops of all three simulators run
+// without a single heap allocation. A regression here (a closure capture, an
+// interface conversion, an append into an unsized buffer) silently multiplies
+// GC pressure by the event count, so it fails loudly instead.
+
+func TestAsyncBlockZeroAlloc(t *testing.T) {
+	p := rbmodel.Uniform(4, 1, 1)
+	cats, err := newEventCats(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := AsyncOptions{Intervals: 1}
+	blk := newAsyncBlock(&cats, 64, opt)
+	rng := dist.NewStream(1983)
+	allocs := testing.AllocsPerRun(200, func() {
+		blk.run(&cats, 8, rng, opt)
+	})
+	if allocs != 0 {
+		t.Fatalf("async block loop allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestSyncCyclesZeroAlloc(t *testing.T) {
+	mu := []float64{1.5, 1.0, 0.5}
+	sumMu := 3.0
+	rng := dist.NewStream(1983)
+	for _, strat := range []SyncStrategy{SyncConstantInterval, SyncElapsedSinceLine, SyncStatesSaved} {
+		opt := SyncOptions{Strategy: strat, Threshold: 3}
+		res := &SyncResult{}
+		allocs := testing.AllocsPerRun(200, func() {
+			res.runCycles(mu, sumMu, opt, 16, rng)
+		})
+		if allocs != 0 {
+			t.Fatalf("%v cycle loop allocates %v per run, want 0", strat, allocs)
+		}
+	}
+}
+
+func TestPRPBlockZeroAlloc(t *testing.T) {
+	p := rbmodel.Uniform(4, 1, 1)
+	cats, err := newEventCats(p, p.SumMu()/float64(p.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := PRPOptions{Probes: 1, Warmup: 0, PLocal: 0.5}
+	blk := &prpBlock{lastRP: make([]float64, p.N())}
+	rng := dist.NewStream(1983)
+	allocs := testing.AllocsPerRun(200, func() {
+		blk.run(&cats, 8, opt, rng)
+	})
+	if allocs != 0 {
+		t.Fatalf("PRP probe loop allocates %v per run, want 0", allocs)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 
 	"recoveryblocks/internal/dist"
 	"recoveryblocks/internal/mc"
@@ -36,46 +37,89 @@ type AsyncOptions struct {
 }
 
 // eventCats is the shared, read-only category table of the superposed
-// Poisson process: n RP streams and one stream per interacting pair. Total
-// rate g; each event picks its category with probability rate/g
-// (superposition theorem), which is statistically identical to maintaining
-// independent exponential clocks.
+// Poisson process: n RP streams, one stream per interacting pair, and any
+// extra trailing streams a simulator superposes (the PRP simulator appends a
+// probe stream). Total rate g; each event picks its category with
+// probability rate/g (superposition theorem), which is statistically
+// identical to maintaining independent exponential clocks. Category choice
+// goes through a Walker/Vose alias table — O(1) per event instead of a
+// linear scan over the n + C(n,2) categories — built once and shared
+// read-only by every worker block.
+//
+// upd folds the paper's mask-update rules into one lookup per category, so
+// the hot loops update the last-action vector without branching on the
+// category class: an RP of process i sets bit i (or = 1<<i, and = 0); an
+// interaction of pair (i,j) clears whichever of bits i, j are set — which
+// is just clearing both unconditionally (or = 0, and = 1<<i | 1<<j); extra
+// categories leave the mask alone. Packing both masks into one slice entry
+// costs the loop a single bounds check and cache line per event.
 type eventCats struct {
-	pairs   []pairIdx
-	weights []float64
-	g       float64
+	pairs []pairIdx
+	upd   []maskUpd
+	alias *dist.Alias
+	g     float64
+	n     int
 }
+
+// maskUpd is one category's last-action-vector update: newMask = (mask | or) &^ and.
+type maskUpd struct{ or, and int }
 
 type pairIdx struct{ i, j int }
 
-// newEventCats builds the category table, optionally reserving room for
-// extra trailing categories (the PRP simulator appends a probe stream).
-func newEventCats(p rbmodel.Params, extra int) eventCats {
+// newEventCats builds the category table, appending any extra trailing
+// category rates after the RP and pair streams. It fails — rather than
+// panicking in the alias constructor — when the process count pushes the
+// category count past the alias table's addressable range (n + C(n,2)
+// exceeds 2^15 around n = 255).
+func newEventCats(p rbmodel.Params, extra ...float64) (eventCats, error) {
 	n := p.N()
-	c := eventCats{weights: make([]float64, 0, n+n*(n-1)/2+extra)}
+	if cats := n + n*(n-1)/2 + len(extra); cats > dist.MaxAliasCategories {
+		return eventCats{}, fmt.Errorf(
+			"sim: %d processes need %d event categories, above the sampler's limit of %d",
+			n, cats, dist.MaxAliasCategories)
+	}
+	c := eventCats{n: n}
+	weights := make([]float64, 0, n+n*(n-1)/2+len(extra))
 	for i := 0; i < n; i++ {
-		c.weights = append(c.weights, p.Mu[i])
+		weights = append(weights, p.Mu[i])
+		c.upd = append(c.upd, maskUpd{or: 1 << i})
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if p.Lambda[i][j] > 0 {
 				c.pairs = append(c.pairs, pairIdx{i, j})
-				c.weights = append(c.weights, p.Lambda[i][j])
+				weights = append(weights, p.Lambda[i][j])
+				c.upd = append(c.upd, maskUpd{and: 1<<i | 1<<j})
 			}
 		}
 	}
-	for _, w := range c.weights {
+	for range extra {
+		c.upd = append(c.upd, maskUpd{})
+	}
+	weights = append(weights, extra...)
+	for _, w := range weights {
 		c.g += w
 	}
-	return c
+	if c.g > 0 {
+		c.alias = dist.NewAlias(weights)
+	}
+	return c, nil
 }
 
-// asyncBlock is the per-block accumulator of SimulateAsync.
+// probeIdx returns the category index of the first extra stream (the one
+// past the RP and pair categories).
+func (c *eventCats) probeIdx() int { return c.n + len(c.pairs) }
+
+// asyncBlock is the per-block accumulator of SimulateAsync. The counts
+// scratch buffer is allocated once per block and reused across every
+// interval, keeping the steady-state event loop allocation-free (pinned by
+// TestAsyncBlockZeroAlloc).
 type asyncBlock struct {
 	x       stats.Welford
 	l       []stats.Welford
 	hist    *stats.Histogram
 	samples []float64
+	counts  []int // scratch: RP counts of the interval in progress
 }
 
 // histBins resolves the histogram bin count (0 means the 50-bin default).
@@ -88,69 +132,87 @@ func (opt AsyncOptions) histBins() int {
 	return 50
 }
 
-// simulateAsyncBlock observes `intervals` consecutive recovery-line
-// intervals with the given stream. Consecutive intervals are iid (the event
-// process restarts statistically at every line — memorylessness), so blocks
-// simulated from independent substreams are distributed identically to one
-// long run.
-func simulateAsyncBlock(cats eventCats, n, intervals int, rng *dist.Stream, opt AsyncOptions) *asyncBlock {
-	blk := &asyncBlock{l: make([]stats.Welford, n)}
+// newAsyncBlock allocates a block accumulator with every buffer the run
+// loop needs, sized up front so the loop itself never allocates. counts is
+// sized to the full category table — interaction tallies are never read, but
+// counting unconditionally keeps the event loop branchless.
+func newAsyncBlock(cats *eventCats, intervals int, opt AsyncOptions) *asyncBlock {
+	blk := &asyncBlock{
+		l:      make([]stats.Welford, cats.n),
+		counts: make([]int, len(cats.upd)),
+	}
 	if opt.HistMax > 0 {
 		blk.hist = stats.NewHistogram(0, opt.HistMax, opt.histBins())
 	}
+	if opt.KeepSamples {
+		blk.samples = make([]float64, 0, intervals)
+	}
+	return blk
+}
+
+// run observes `intervals` consecutive recovery-line intervals with the
+// given stream. Consecutive intervals are iid (the event process restarts
+// statistically at every line — memorylessness), so blocks simulated from
+// independent substreams are distributed identically to one long run.
+//
+// The loop separates the jump chain from the clock: each event's category
+// comes from the alias table, and only when a recovery line forms is the
+// interval length drawn — as one Erlang(m, g) variate for the m events the
+// interval contained. In a superposed Poisson process the holding times are
+// iid Exp(g) independent of the category sequence, so (X, L_1..L_n) has
+// exactly the same joint distribution as with per-event clock draws; the
+// xval and scenario gates cross-check that equivalence against the exact
+// chain on every run.
+func (blk *asyncBlock) run(cats *eventCats, intervals int, rng *dist.Stream, opt AsyncOptions) {
+	n := cats.n
+	alias := cats.alias
+	upd := cats.upd
 	ones := (1 << n) - 1
 	mask := ones // a recovery line has just formed
 	atLine := true
-	clock := 0.0
-	lineTime := 0.0
-	counts := make([]int, n)
+	events := 0
+	counts := blk.counts
+	for i := range counts {
+		counts[i] = 0
+	}
 	done := 0
 
+	// The common path is branch-light on purpose: one RNG word picks the
+	// category, the mask update is two table lookups, and the only data-
+	// dependent branch is the rare line-formation test. The test reads
+	// "line state reached, and the event is a recovery point": R4 (any RP
+	// while at a line) or R1 completing the vector. Interactions can never
+	// make the updated mask all-ones, so ordering the cheap, almost-always-
+	// false mask condition first keeps the branch predictable.
 	for done < intervals {
-		clock += rng.Exp(cats.g)
-		k := rng.ChoiceTotal(cats.weights, cats.g)
-		if k < n { // recovery point of process k
-			counts[k]++
-			if atLine || mask|1<<k == ones {
-				// Entry rule R4, or rule R1 completing the vector: the
-				// (r+1)-th recovery line forms now.
-				x := clock - lineTime
-				blk.x.Add(x)
-				if blk.hist != nil {
-					blk.hist.Add(x)
-				}
-				if opt.KeepSamples {
-					blk.samples = append(blk.samples, x)
-				}
-				for i := range counts {
-					blk.l[i].Add(float64(counts[i]))
-					counts[i] = 0
-				}
-				done++
-				lineTime = clock
-				mask = ones
-				atLine = true
-			} else {
-				mask |= 1 << k
+		events++
+		k := alias.Pick(rng.Uint64())
+		counts[k]++
+		u := upd[k]
+		mask = (mask | u.or) &^ u.and
+		if (atLine || mask == ones) && k < n {
+			// Entry rule R4, or rule R1 completing the vector: the
+			// (r+1)-th recovery line forms now.
+			x := rng.Erlang(events, cats.g)
+			blk.x.Add(x)
+			if blk.hist != nil {
+				blk.hist.Add(x)
 			}
+			if opt.KeepSamples {
+				blk.samples = append(blk.samples, x)
+			}
+			for i := 0; i < n; i++ {
+				blk.l[i].Add(float64(counts[i]))
+				counts[i] = 0
+			}
+			done++
+			events = 0
+			mask = ones
+			atLine = true
 			continue
 		}
-		// Interaction event between pairs[k-n].
-		pr := cats.pairs[k-n]
-		bi, bj := mask&(1<<pr.i) != 0, mask&(1<<pr.j) != 0
-		switch {
-		case bi && bj:
-			mask &^= 1<<pr.i | 1<<pr.j
-		case bi:
-			mask &^= 1 << pr.i
-		case bj:
-			mask &^= 1 << pr.j
-		}
-		if atLine {
-			atLine = false
-		}
+		atLine = false
 	}
-	return blk
 }
 
 // SimulateAsync runs the event process of Section 2.1 directly — Poisson
@@ -170,13 +232,18 @@ func SimulateAsync(p rbmodel.Params, opt AsyncOptions) (*AsyncResult, error) {
 		return nil, errors.New("sim: Intervals must be ≥ 1")
 	}
 	n := p.N()
-	cats := newEventCats(p, 0)
+	cats, err := newEventCats(p)
+	if err != nil {
+		return nil, err
+	}
 	if cats.g <= 0 {
 		return nil, errors.New("sim: all event rates are zero")
 	}
 
 	blocks := mc.Run(opt.Intervals, mc.DefaultBlockSize, opt.Workers, func(b mc.Block) *asyncBlock {
-		return simulateAsyncBlock(cats, n, b.N(), dist.Substream(opt.Seed, b.Index), opt)
+		blk := newAsyncBlock(&cats, b.N(), opt)
+		blk.run(&cats, b.N(), dist.Substream(opt.Seed, b.Index), opt)
+		return blk
 	})
 
 	res := &AsyncResult{L: make([]stats.Welford, n)}

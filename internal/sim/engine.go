@@ -37,9 +37,9 @@ func (q eventQueue) Less(i, j int) bool {
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
@@ -48,15 +48,26 @@ func (q *eventQueue) Pop() interface{} {
 	return e
 }
 
+// initialQueueCap pre-sizes the event queue: the Figure 1 domino scenarios
+// keep a handful of events in flight per process, so a small fixed capacity
+// absorbs the growth phase without reallocation.
+const initialQueueCap = 64
+
 // Engine is a sequential discrete-event scheduler with a monotone clock.
+// Fired event nodes are recycled through a free list, so a long run
+// allocates one node per *concurrently pending* event rather than one per
+// scheduled event.
 type Engine struct {
 	queue eventQueue
 	now   float64
 	seq   uint64
+	free  []*event
 }
 
 // NewEngine returns an engine with the clock at zero.
-func NewEngine() *Engine { return &Engine{} }
+func NewEngine() *Engine {
+	return &Engine{queue: make(eventQueue, 0, initialQueueCap)}
+}
 
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
@@ -68,7 +79,15 @@ func (e *Engine) At(t float64, fn Handler) error {
 		return errors.New("sim: event scheduled in the past")
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{time: t, seq: e.seq, fn: fn})
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		ev.time, ev.seq, ev.fn = t, e.seq, fn
+	} else {
+		ev = &event{time: t, seq: e.seq, fn: fn}
+	}
+	heap.Push(&e.queue, ev)
 	return nil
 }
 
@@ -90,7 +109,11 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.time
-	ev.fn(e.now)
+	fn := ev.fn
+	// Recycle before invoking: the handler may schedule and reuse this node.
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn(e.now)
 	return true
 }
 

@@ -33,6 +33,73 @@ type PRPResult struct {
 	Probes             int
 }
 
+// prpBlock is the per-block accumulator of SimulatePRP. lastRP is the
+// per-process scratch buffer of most-recent recovery-point times, allocated
+// once per block so the probe loop itself never allocates (pinned by
+// TestPRPBlockZeroAlloc).
+type prpBlock struct {
+	local, propagated, async stats.Welford
+	domino, probes           int
+	lastRP                   []float64
+}
+
+// run replays the event process from t = 0 and takes `probes` error probes
+// with the given stream. Unlike the async scheme's interval loop, the clock
+// must advance event by event: recovery-point times and probe times are
+// observed quantities here, so holding times cannot be collapsed. Category
+// choice still goes through the O(1) alias table.
+func (blk *prpBlock) run(cats *eventCats, probes int, opt PRPOptions, rng *dist.Stream) {
+	n := cats.n
+	probeIdx := cats.probeIdx()
+	lastRP := blk.lastRP
+	for i := range lastRP {
+		lastRP[i] = 0 // 0 = process start
+	}
+	ones := (1 << n) - 1
+	mask := ones
+	atLine := true
+	lastLine := 0.0
+	clock := 0.0
+	taken := 0
+
+	for taken < probes {
+		clock += rng.Exp(cats.g)
+		k := cats.alias.Sample(rng)
+		switch {
+		case k < n: // recovery point of process k (PRPs implanted in the others)
+			lastRP[k] = clock
+			if atLine || mask|1<<k == ones {
+				lastLine = clock
+				mask = ones
+				atLine = true
+			} else {
+				mask |= 1 << k
+			}
+		case k < probeIdx: // interaction: clear the pair from the last-action vector
+			u := cats.upd[k]
+			mask = (mask | u.or) &^ u.and
+			atLine = false
+		default: // error probe
+			if clock < opt.Warmup {
+				continue
+			}
+			victim := rng.Intn(n)
+			if rng.Bernoulli(opt.PLocal) {
+				blk.local.Add(clock - lastRP[victim])
+			} else {
+				anchor := rollbackPointerFixpoint(lastRP, victim)
+				blk.propagated.Add(clock - anchor)
+			}
+			blk.async.Add(clock - lastLine)
+			if lastLine == 0 {
+				blk.domino++
+			}
+			taken++
+		}
+	}
+	blk.probes += taken
+}
+
 // SimulatePRP runs the full event process (recovery points and interactions)
 // and probes it with Poisson error arrivals. At each probe it computes:
 //
@@ -76,68 +143,14 @@ func SimulatePRP(p rbmodel.Params, opt PRPOptions) (*PRPResult, error) {
 	// the process. One probe per mean recovery-line interval is a reasonable
 	// density that keeps probes nearly independent.
 	probeRate := p.SumMu() / float64(n)
-	cats := newEventCats(p, 1)
-	probeIdx := len(cats.weights)
-	cats.weights = append(cats.weights, probeRate)
-	cats.g += probeRate
-
-	type prpBlock struct {
-		local, propagated, async stats.Welford
-		domino, probes           int
+	cats, err := newEventCats(p, probeRate)
+	if err != nil {
+		return nil, err
 	}
-	blocks := mc.Run(opt.Probes, mc.DefaultBlockSize, opt.Workers, func(b mc.Block) *prpBlock {
-		rng := dist.Substream(opt.Seed, b.Index)
-		blk := &prpBlock{}
-		lastRP := make([]float64, n) // most recent RP time per process (0 = process start)
-		ones := (1 << n) - 1
-		mask := ones
-		atLine := true
-		lastLine := 0.0
-		clock := 0.0
 
-		for blk.probes < b.N() {
-			clock += rng.Exp(cats.g)
-			k := rng.ChoiceTotal(cats.weights, cats.g)
-			switch {
-			case k < n: // recovery point of process k (PRPs implanted in the others)
-				lastRP[k] = clock
-				if atLine || mask|1<<k == ones {
-					lastLine = clock
-					mask = ones
-					atLine = true
-				} else {
-					mask |= 1 << k
-				}
-			case k < probeIdx: // interaction
-				pr := cats.pairs[k-n]
-				bi, bj := mask&(1<<pr.i) != 0, mask&(1<<pr.j) != 0
-				switch {
-				case bi && bj:
-					mask &^= 1<<pr.i | 1<<pr.j
-				case bi:
-					mask &^= 1 << pr.i
-				case bj:
-					mask &^= 1 << pr.j
-				}
-				atLine = false
-			default: // error probe
-				if clock < opt.Warmup {
-					continue
-				}
-				victim := rng.Intn(n)
-				if rng.Bernoulli(opt.PLocal) {
-					blk.local.Add(clock - lastRP[victim])
-				} else {
-					anchor := rollbackPointerFixpoint(lastRP, victim)
-					blk.propagated.Add(clock - anchor)
-				}
-				blk.async.Add(clock - lastLine)
-				if lastLine == 0 {
-					blk.domino++
-				}
-				blk.probes++
-			}
-		}
+	blocks := mc.Run(opt.Probes, mc.DefaultBlockSize, opt.Workers, func(b mc.Block) *prpBlock {
+		blk := &prpBlock{lastRP: make([]float64, n)}
+		blk.run(&cats, b.N(), opt, dist.Substream(opt.Seed, b.Index))
 		return blk
 	})
 

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"math"
 
+	"recoveryblocks/internal/mc"
 	"recoveryblocks/internal/rbmodel"
 	"recoveryblocks/internal/sim"
 	"recoveryblocks/internal/stats"
@@ -168,18 +169,41 @@ const prpReplicates = 24
 // Run executes every check of every scenario and judges the results at the
 // family-wise error rate of opt. The returned report carries one Check per
 // comparison; Report.Failures counts the disagreements.
+//
+// Scenarios fan out across the internal/mc worker pool, and the pool budget
+// splits between the two levels: each scenario's estimators keep
+// workers/len(scenarios) goroutines (at least one), so a grid wider than
+// the pool parallelizes across scenarios while a narrow grid still shards
+// replications inside each slot. Every estimator is bit-identical for every
+// worker count, so the report — assembled in scenario order — is too.
 func Run(scenarios []Scenario, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
-	var ms []measurement
 	for _, sc := range scenarios {
 		if err := sc.validate(); err != nil {
 			return nil, err
 		}
-		scms, err := evaluate(sc, opt)
+	}
+	inner := opt
+	if len(scenarios) > 1 {
+		inner.Workers = max(1, mc.Workers(opt.Workers)/len(scenarios))
+	}
+	type out struct {
+		ms  []measurement
+		err error
+	}
+	outs := mc.Map(scenarios, opt.Workers, func(_ int, sc Scenario) out {
+		scms, err := evaluate(sc, inner)
 		if err != nil {
-			return nil, fmt.Errorf("xval: scenario %q: %w", sc.Name, err)
+			return out{err: fmt.Errorf("xval: scenario %q: %w", sc.Name, err)}
 		}
-		ms = append(ms, scms...)
+		return out{ms: scms}
+	})
+	var ms []measurement
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		ms = append(ms, o.ms...)
 	}
 	k := 0
 	for _, m := range ms {
@@ -187,14 +211,14 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 			k++
 		}
 	}
-	crit := stats.ZCrit(opt.Alpha, maxInt(k, 1))
+	crit := stats.ZCrit(opt.Alpha, max(k, 1))
 	rep := &Report{Alpha: opt.Alpha, Crit: crit, RelTol: opt.RelTol, K: k}
 	for _, m := range ms {
 		mcrit := crit
 		if m.kind == KindBatchT && m.dof >= 1 {
 			// Batch-means checks estimate their SE from few batches: widen
 			// the normal critical value to the Student-t one at dof.
-			mcrit = stats.TCrit(opt.Alpha, maxInt(k, 1), m.dof)
+			mcrit = stats.TCrit(opt.Alpha, max(k, 1), m.dof)
 		}
 		c := m.judge(mcrit, opt.RelTol)
 		if !c.Pass {
@@ -203,13 +227,6 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 		rep.Checks = append(rep.Checks, c)
 	}
 	return rep, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // evaluate runs every estimator of one scenario and pairs it with its model
