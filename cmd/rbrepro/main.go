@@ -14,7 +14,9 @@
 //	rbrepro trace -scheme sync|prp      # Figures 7 / 8 runtime traces
 //	rbrepro graph -model full|symmetric|split   # Figures 2-4 as DOT
 //	rbrepro plan                        # design aids beyond the paper
-//	rbrepro xval  [-json]               # model vs simulator cross-validation
+//	rbrepro strategies [-table [-k 1,2,4]]  # the recovery-discipline registry
+//	rbrepro xval  [-json] [-strategy S] # model vs simulator cross-validation
+//	rbrepro scenario -spec f | -family n [-json] [-strategy S]
 //	rbrepro all                         # every experiment above
 //
 // Global flags: -quick (small Monte Carlo sizes; for xval, the short grid),
@@ -24,7 +26,10 @@
 // xval sweeps the declarative scenario grid of internal/xval, printing one
 // row per model↔simulator comparison (the -json flag emits the
 // machine-readable report instead), and exits non-zero on any disagreement —
-// the statistical oracle CI runs against every change.
+// the statistical oracle CI runs against every change. Both xval and
+// scenario accept -strategy to restrict the run to one registered recovery
+// discipline (see `rbrepro strategies` for the catalog); for sync-every-k,
+// xval selects the discipline's dedicated grid.
 package main
 
 import (
@@ -52,8 +57,9 @@ func main() {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `rbrepro — reproduce Shin & Lee (1983) tables and figures
-commands: table1 fig5 fig6 sync prp domino trace graph plan xval all
+commands: table1 fig5 fig6 sync prp domino trace graph plan strategies xval scenario all
 flags:    -quick -seed N -workers N; fig5: -rhos -maxn -exact; fig6: -points -tmax;
           prp: -tr -lambda; trace: -scheme sync|prp; graph: -model full|symmetric|split;
-          xval: -json`)
+          strategies: -table -k 1,2,4; xval: -json -strategy S;
+          scenario: -spec f | -family n, -json -strategy S`)
 }

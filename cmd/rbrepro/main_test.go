@@ -45,6 +45,18 @@ func TestRunEveryExperimentSubcommand(t *testing.T) {
 			[]string{"Scenario engine", "winner:", "cross-check clean"}},
 		{[]string{"scenario", "-spec", "../../testdata/scenarios/quickstart.json"},
 			[]string{"staged-pipeline", "winner:", "cross-check clean"}},
+		{[]string{"strategies"},
+			[]string{"Registered recovery strategies", "async", "sync-every-k", "Section 3 generalized"}},
+		{[]string{"strategies", "-table", "-k", "1,4"},
+			[]string{"Strategy comparison", "sync-every-k (k=1)", "sync-every-k (k=4)", "overhead/t"}},
+		{[]string{"xval", "-strategy", "sync-every-k"},
+			[]string{"everyk.meanZ.k1", "everyk-n5-k4", "all model/simulator pairs agree"}},
+		{[]string{"xval", "-quick", "-strategy", "async"},
+			[]string{"async.meanX", "all model/simulator pairs agree"}},
+		{[]string{"scenario", "-family", "sync-every-k", "-quick"},
+			[]string{"sync-every-k/n3/k1", "sync-every-k/n3/k4", "winner:", "cross-check clean"}},
+		{[]string{"scenario", "-family", "deadline-sweep", "-quick", "-strategy", "prp"},
+			[]string{"winner: prp", "prp.propagated", "cross-check clean"}},
 	}
 	for _, c := range cases {
 		c := c
@@ -83,6 +95,10 @@ func TestRunRejectsBadOperands(t *testing.T) {
 		{"fig5", "-quick", "-rhos", "one,two"},
 		{"scenario", "-family", "bogus"},
 		{"scenario", "-spec", "no-such-spec.json"},
+		{"scenario", "-family", "uniform", "-quick", "-strategy", "bogus"},
+		{"xval", "-quick", "-strategy", "bogus"},
+		{"strategies", "-table", "-k", "one"},
+		{"strategies", "-table", "-k", "0"},
 	} {
 		var out strings.Builder
 		err := Run(args, &out)

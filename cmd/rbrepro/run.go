@@ -50,6 +50,9 @@ func Run(args []string, stdout io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit the machine-readable report (xval, scenario)")
 	specPath := fs.String("spec", "", "scenario spec file to run (scenario)")
 	family := fs.String("family", "", "built-in scenario family to run (scenario)")
+	strategyName := fs.String("strategy", "", "restrict the run to one registered recovery strategy (xval, scenario)")
+	table := fs.Bool("table", false, "also print the registry-driven comparison table (strategies)")
+	ks := fs.String("k", "1,2,4", "comma-separated sync-every-k block periods (strategies -table)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the command to this file")
 	if err := fs.Parse(args[1:]); err != nil {
@@ -210,9 +213,11 @@ func Run(args []string, stdout io.Writer) error {
 				fmt.Fprintf(stdout, "%d | %.4f   | %8.2f\n", n, p, q)
 			}
 		case "xval":
-			return runXVal(stdout, *quick, *seed, *workers, *jsonOut)
+			return runXVal(stdout, *quick, *seed, *workers, *jsonOut, *strategyName)
 		case "scenario":
-			return runScenario(stdout, *specPath, *family, *quick, *seed, *workers, *jsonOut)
+			return runScenario(stdout, *specPath, *family, *quick, *seed, *workers, *jsonOut, *strategyName)
+		case "strategies":
+			return runStrategies(stdout, *table, *ks)
 		case "all":
 			for _, sub := range []string{"table1", "fig5", "fig6", "sync", "prp", "domino", "plan"} {
 				fmt.Fprintf(stdout, "================ %s ================\n", sub)
@@ -241,12 +246,41 @@ func Run(args []string, stdout io.Writer) error {
 	return run(cmd)
 }
 
+// runStrategies prints the recovery-discipline catalog — one line per
+// registered strategy — and, under -table, the registry-driven comparison
+// pricing every discipline (sync-every-k once per -k period) on the
+// canonical workload.
+func runStrategies(stdout io.Writer, table bool, ksCSV string) error {
+	fmt.Fprintln(stdout, "Registered recovery strategies:")
+	for _, info := range rb.StrategyCatalog() {
+		fmt.Fprintf(stdout, "  %-14s %s\n", info.Name, info.Description)
+	}
+	if !table {
+		return nil
+	}
+	var ks []int
+	for _, s := range strings.Split(ksCSV, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			return fmt.Errorf("bad -k value %q: %w", s, err)
+		}
+		ks = append(ks, v)
+	}
+	cmp, err := rb.CompareStrategies(ks)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, cmp.Format())
+	return nil
+}
+
 // runScenario loads a workload — a spec file or a built-in family — runs the
 // batch engine, and prints the advisor report. Any model↔simulator
 // cross-check disagreement is returned as an error so the process exits
 // non-zero: advice whose numbers the simulators dispute must not look like
 // success in a pipeline.
-func runScenario(stdout io.Writer, specPath, family string, quick bool, seed int64, workers int, jsonOut bool) error {
+func runScenario(stdout io.Writer, specPath, family string, quick bool, seed int64, workers int, jsonOut bool, strategyName string) error {
 	var scs []rb.Scenario
 	var err error
 	switch {
@@ -277,6 +311,18 @@ func runScenario(stdout io.Writer, specPath, family string, quick bool, seed int
 			scs[i].Seed += seed - 1983
 		}
 	}
+	// -strategy narrows every scenario to one registered discipline: the
+	// advisor prices and cross-checks just that strategy, whatever the spec
+	// or family requested.
+	if strategyName != "" {
+		st, err := rb.ParseScenarioStrategy(strategyName)
+		if err != nil {
+			return err
+		}
+		for i := range scs {
+			scs[i].Strategies = []rb.ScenarioStrategy{st}
+		}
+	}
 	rep, err := rb.RunScenarios(scs, rb.ScenarioOptions{Workers: workers})
 	if err != nil {
 		return err
@@ -298,10 +344,25 @@ func runScenario(stdout io.Writer, specPath, family string, quick bool, seed int
 
 // runXVal sweeps the cross-validation grid and reports; any model↔simulator
 // disagreement is returned as an error so the process exits non-zero.
-func runXVal(stdout io.Writer, quick bool, seed int64, workers int, jsonOut bool) error {
+// -strategy restricts the checks to one registered discipline; for
+// sync-every-k — whose cells must opt in with a block period — it selects
+// the discipline's dedicated grid.
+func runXVal(stdout io.Writer, quick bool, seed int64, workers int, jsonOut bool, strategyName string) error {
 	grid := rb.XValFullGrid()
 	if quick {
 		grid = rb.XValShortGrid()
+	}
+	var opt rb.XValOptions
+	opt.Workers = workers
+	if strategyName != "" {
+		st, err := rb.ParseScenarioStrategy(strategyName)
+		if err != nil {
+			return err
+		}
+		opt.Strategies = []string{string(st)}
+		if st == rb.ScenarioSyncEveryK {
+			grid = rb.XValEveryKGrid()
+		}
 	}
 	// The grids pin per-scenario seeds so runs are reproducible; a
 	// non-default -seed shifts them all, giving an independent replication
@@ -311,7 +372,7 @@ func runXVal(stdout io.Writer, quick bool, seed int64, workers int, jsonOut bool
 			grid[i].Seed += seed - 1983
 		}
 	}
-	rep, err := rb.CrossValidate(grid, rb.XValOptions{Workers: workers})
+	rep, err := rb.CrossValidate(grid, opt)
 	if err != nil {
 		return err
 	}

@@ -155,7 +155,7 @@ func TestFacadeScenarioEngine(t *testing.T) {
 	}
 
 	fams := ScenarioFamilies()
-	if len(fams) != 6 {
+	if len(fams) != 7 || fams[len(fams)-1] != "sync-every-k" {
 		t.Fatalf("families: %v", fams)
 	}
 	grid, err := DefaultScenarioFamily("uniform", true)
@@ -167,6 +167,49 @@ func TestFacadeScenarioEngine(t *testing.T) {
 	}
 	if _, err := DefaultScenarioFamily("bogus", true); err == nil {
 		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestFacadeStrategyRegistry(t *testing.T) {
+	catalog := StrategyCatalog()
+	if len(catalog) != 4 {
+		t.Fatalf("catalog: %+v", catalog)
+	}
+	names := map[string]bool{}
+	for _, info := range catalog {
+		if info.Description == "" {
+			t.Errorf("strategy %q has no description", info.Name)
+		}
+		names[info.Name] = true
+		if _, err := ParseScenarioStrategy(info.Name); err != nil {
+			t.Errorf("ParseScenarioStrategy(%q): %v", info.Name, err)
+		}
+	}
+	for _, want := range []string{"async", "sync", "prp", "sync-every-k"} {
+		if !names[want] {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+	if _, err := ParseScenarioStrategy("bogus"); err == nil {
+		t.Fatal("bogus strategy accepted")
+	}
+
+	cmp, err := CompareStrategies([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Rows) != 5 { // trio + two k rows
+		t.Fatalf("comparison rows: %d", len(cmp.Rows))
+	}
+
+	grid := XValEveryKGrid()
+	if len(grid) == 0 {
+		t.Fatal("empty sync-every-k grid")
+	}
+	for _, cell := range grid {
+		if cell.EveryK < 1 {
+			t.Errorf("cell %q does not opt into sync-every-k", cell.Name)
+		}
 	}
 }
 

@@ -1,0 +1,123 @@
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"recoveryblocks/internal/strategy"
+)
+
+// The strategy-comparison experiment is the registry-driven successor of the
+// paper's Section 5 discussion: instead of prose weighing the three
+// organizations, it prices every *registered* discipline on one canonical
+// workload through strategy.Strategy.Price and tabulates the overhead
+// decomposition side by side. Because it iterates the registry, a newly
+// registered discipline appears in the table (and in `rbrepro strategies
+// -table`) with no change to this package — the experiment layer's share of
+// the one-package drop-in contract.
+
+// CompareWorkload is the canonical workload the comparison prices: the
+// paper's n = 3, ρ = 2 case with the EXPERIMENTS.md economic knobs.
+func CompareWorkload() strategy.Workload {
+	return strategy.Workload{
+		Name:           "compare/n3-rho2",
+		Mu:             []float64{1, 1, 1},
+		Lambda:         [][]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}},
+		SyncInterval:   1,
+		CheckpointCost: 0.05,
+		Deadline:       3,
+		ErrorRate:      0.05,
+		PLocal:         0.5,
+	}
+}
+
+// CompareRow is one priced discipline (one row per k for sync-every-k).
+type CompareRow struct {
+	Strategy strategy.Name
+	Metrics  strategy.Metrics
+}
+
+// CompareResult tabulates every registered discipline on the canonical
+// workload, ranked cheapest-first.
+type CompareResult struct {
+	Workload strategy.Workload
+	Ks       []int // sync-every-k block periods priced
+	Rows     []CompareRow
+}
+
+// CompareStrategies prices every registered discipline on the canonical
+// workload — sync-every-k once per requested block period (nil selects
+// k ∈ {1, 2, 4}) — and ranks the rows by overhead rate. Pure model
+// evaluation: deterministic, no simulation.
+func CompareStrategies(ks []int) (*CompareResult, error) {
+	if ks == nil {
+		ks = []int{1, 2, 4}
+	}
+	for _, k := range ks {
+		if k < 1 || k > strategy.MaxEveryK {
+			return nil, fmt.Errorf("expt: sync-every-k period %d must be in [1, %d]", k, strategy.MaxEveryK)
+		}
+	}
+	w := CompareWorkload()
+	res := &CompareResult{Workload: w, Ks: append([]int(nil), ks...)}
+	for _, st := range strategy.All() {
+		if st.Name() == strategy.SyncEveryK {
+			for _, k := range ks {
+				wk := w
+				wk.EveryK = k
+				m, err := st.Price(wk)
+				if err != nil {
+					return nil, fmt.Errorf("expt: pricing %s (k=%d): %w", st.Name(), k, err)
+				}
+				res.Rows = append(res.Rows, CompareRow{Strategy: st.Name(), Metrics: m})
+			}
+			continue
+		}
+		m, err := st.Price(w)
+		if err != nil {
+			return nil, fmt.Errorf("expt: pricing %s: %w", st.Name(), err)
+		}
+		res.Rows = append(res.Rows, CompareRow{Strategy: st.Name(), Metrics: m})
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		a, b := res.Rows[i].Metrics, res.Rows[j].Metrics
+		if a.OverheadRate != b.OverheadRate {
+			return a.OverheadRate < b.OverheadRate
+		}
+		if a.Strategy != b.Strategy {
+			return a.Strategy < b.Strategy
+		}
+		return a.EveryK < b.EveryK
+	})
+	return res, nil
+}
+
+// Format renders the comparison table.
+func (r *CompareResult) Format() string {
+	var b strings.Builder
+	w := r.Workload
+	b.WriteString("Strategy comparison — every registered discipline priced on one workload\n")
+	fmt.Fprintf(&b, "n=%d  mu=1  rho=2  tau=%.4g  t_r=%.4g  theta=%.4g  deadline=%.4g\n\n",
+		len(w.Mu), w.SyncInterval, w.CheckpointCost, w.ErrorRate, w.Deadline)
+	tw := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\toverhead/t\tckpt\tsync\trollback\tE[rollback]\tP(miss)")
+	for _, row := range r.Rows {
+		m := row.Metrics
+		name := string(m.Strategy)
+		if m.EveryK > 0 {
+			name = fmt.Sprintf("%s (k=%d)", m.Strategy, m.EveryK)
+		}
+		miss := "-"
+		if m.DeadlineMissProb >= 0 {
+			miss = fmt.Sprintf("%.6f", m.DeadlineMissProb)
+		}
+		fmt.Fprintf(tw, "%s\t%.6f\t%.6f\t%.6f\t%.6f\t%.4f\t%s\n",
+			name, m.OverheadRate, m.CheckpointRate, m.SyncLossRate, m.RollbackRate, m.MeanRollback, miss)
+	}
+	tw.Flush()
+	b.WriteString("\nRates are fractions of one process's computing power per unit time;\n")
+	b.WriteString("see EXPERIMENTS.md (sync-every-k appendix) for the discussion.\n")
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+
+	"recoveryblocks/internal/strategy"
+)
+
+// TestCompareStrategiesCoversRegistry: the table must carry one row per
+// registered discipline (one per k for sync-every-k), ranked by overhead.
+func TestCompareStrategiesCoversRegistry(t *testing.T) {
+	ks := []int{1, 2, 4}
+	res, err := CompareStrategies(ks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := len(strategy.All()) - 1 + len(ks)
+	if len(res.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), want)
+	}
+	seen := map[strategy.Name]int{}
+	prev := -1.0
+	for _, row := range res.Rows {
+		seen[row.Strategy]++
+		if row.Metrics.OverheadRate < prev {
+			t.Fatalf("rows not ranked by overhead: %v after %v", row.Metrics.OverheadRate, prev)
+		}
+		prev = row.Metrics.OverheadRate
+	}
+	for _, st := range strategy.All() {
+		if seen[st.Name()] == 0 {
+			t.Errorf("registered strategy %s missing from the comparison", st.Name())
+		}
+	}
+	if seen[strategy.SyncEveryK] != len(ks) {
+		t.Errorf("sync-every-k rows = %d, want %d", seen[strategy.SyncEveryK], len(ks))
+	}
+}
+
+// TestCompareEveryKDegeneracy: the k = 1 row must price identically to the
+// sync row (the registry's acceptance identity, visible at the experiment
+// layer).
+func TestCompareEveryKDegeneracy(t *testing.T) {
+	res, err := CompareStrategies([]int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syncRate, k1Rate float64
+	for _, row := range res.Rows {
+		switch {
+		case row.Strategy == strategy.Sync:
+			syncRate = row.Metrics.OverheadRate
+		case row.Strategy == strategy.SyncEveryK && row.Metrics.EveryK == 1:
+			k1Rate = row.Metrics.OverheadRate
+		}
+	}
+	if syncRate == 0 || k1Rate == 0 {
+		t.Fatalf("rows missing: sync %v, k1 %v", syncRate, k1Rate)
+	}
+	if d := syncRate - k1Rate; d > 1e-8 || d < -1e-8 {
+		t.Fatalf("k=1 overhead %v differs from sync %v", k1Rate, syncRate)
+	}
+}
+
+func TestCompareFormatMentionsEveryRow(t *testing.T) {
+	res, err := CompareStrategies(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Format()
+	for _, want := range []string{"async", "sync", "prp", "sync-every-k (k=1)", "sync-every-k (k=4)", "overhead/t"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareRejectsBadK(t *testing.T) {
+	if _, err := CompareStrategies([]int{0}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := CompareStrategies([]int{strategy.MaxEveryK + 1}); err == nil {
+		t.Fatal("k beyond MaxEveryK accepted")
+	}
+}

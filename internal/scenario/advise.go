@@ -4,10 +4,7 @@ import (
 	"fmt"
 	"sort"
 
-	"recoveryblocks/internal/dist"
-	"recoveryblocks/internal/prpmodel"
-	"recoveryblocks/internal/rbmodel"
-	"recoveryblocks/internal/synch"
+	"recoveryblocks/internal/strategy"
 )
 
 // The advisor prices each recovery organization on a common scale: the
@@ -16,50 +13,20 @@ import (
 // each other —
 //
 //   - checkpointing: state saves during normal operation (rate × t_r);
-//   - synchronization: commitment waits at test lines (sync only);
+//   - synchronization: commitment waits at test lines (the synchronized
+//     disciplines only);
 //   - rollback: the error rate θ times the expected work discarded per error.
 //
 // Every number is exact (chain solves and closed forms), so Advise is
 // deterministic and cheap; Run's cross-checks are what tie these model values
-// to simulated behavior.
-//
-// Per strategy:
-//
-//   - async: saves cost t_r·Σμ/n; an error rolls every process back to the
-//     latest recovery line, whose stationary age is E[X²]/(2·E[X]) (renewal
-//     inspection on the exact chain's moments). Deadline risk is P(X > d).
-//   - sync at interval τ (or the optimal τ from synch.OptimalInterval):
-//     synch.OverheadRate prices the commitment waits and mid-cycle rollback;
-//     checkpointing adds the τ·Σμ asynchronous saves plus the n commitment
-//     states per cycle of length τ+E[Z]. Deadline risk is the probability a
-//     cycle outlives the deadline, P(τ+Z > d).
-//   - prp: every RP event (rate Σμ) saves n states (the RP plus n−1
-//     implanted PRPs); an error rolls back a bounded distance — the victim's
-//     own RP age 1/μ_i when local, E[max_i Exp(μ_i)] when propagated.
-//     Deadline risk is the probability the bound itself exceeds the
-//     deadline, P(max_i y_i > d).
+// to simulated behavior. The per-discipline cost models live with the
+// disciplines themselves — strategy.Strategy.Price — and the advisor ranks
+// whatever the registry holds; see internal/strategy for the formulas.
 
 // StrategyMetrics prices one organization for one scenario. All rates are
 // fractions of one process's computing power per unit time; OverheadRate is
 // their total and the ranking key.
-type StrategyMetrics struct {
-	Strategy Strategy `json:"strategy"`
-	// OverheadRate = CheckpointRate + SyncLossRate + RollbackRate.
-	OverheadRate float64 `json:"overhead_rate"`
-	// CheckpointRate is the state-save cost during normal operation.
-	CheckpointRate float64 `json:"checkpoint_rate"`
-	// SyncLossRate is the commitment-wait cost (zero except for sync).
-	SyncLossRate float64 `json:"sync_loss_rate"`
-	// RollbackRate is θ × the expected per-process work lost per error.
-	RollbackRate float64 `json:"rollback_rate"`
-	// MeanRollback is the expected rollback distance when an error strikes.
-	MeanRollback float64 `json:"mean_rollback"`
-	// DeadlineMissProb is the strategy's deadline-risk metric; -1 when the
-	// scenario sets no deadline.
-	DeadlineMissProb float64 `json:"deadline_miss_prob"`
-	// SyncInterval is the resolved request interval τ (sync only, else 0).
-	SyncInterval float64 `json:"sync_interval,omitempty"`
-}
+type StrategyMetrics = strategy.Metrics
 
 // Advice is the advisor's verdict for one scenario: every requested strategy
 // priced, ranked by OverheadRate, with the winner and its margins.
@@ -75,17 +42,22 @@ type Advice struct {
 	MarginRel float64 `json:"margin_rel"`
 }
 
-// Advise prices every requested strategy of the scenario and ranks them.
-// It is pure model evaluation — no simulation — so it is fast enough to call
-// per request; RunScenarios embeds the same advice next to the cross-checks
-// that justify trusting it.
+// Advise prices every requested strategy of the scenario through the
+// registry and ranks them. It is pure model evaluation — no simulation — so
+// it is fast enough to call per request; RunScenarios embeds the same advice
+// next to the cross-checks that justify trusting it.
 func Advise(sc Scenario) (*Advice, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	w := sc.workload()
 	adv := &Advice{Scenario: sc.Name}
 	for _, st := range sc.Strategies {
-		m, err := priceStrategy(sc, st)
+		impl, ok := strategy.Lookup(st)
+		if !ok {
+			return nil, fmt.Errorf("scenario %q: unknown strategy %q", sc.Name, st)
+		}
+		m, err := impl.Price(w)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q: pricing %s: %w", sc.Name, st, err)
 		}
@@ -106,122 +78,4 @@ func Advise(sc Scenario) (*Advice, error) {
 		}
 	}
 	return adv, nil
-}
-
-func priceStrategy(sc Scenario, st Strategy) (StrategyMetrics, error) {
-	switch st {
-	case StrategyAsync:
-		return priceAsync(sc)
-	case StrategySync:
-		return priceSync(sc)
-	case StrategyPRP:
-		return pricePRP(sc)
-	}
-	return StrategyMetrics{}, fmt.Errorf("unknown strategy %q", st)
-}
-
-func priceAsync(sc Scenario) (StrategyMetrics, error) {
-	model, err := rbmodel.NewAsync(sc.Params())
-	if err != nil {
-		return StrategyMetrics{}, err
-	}
-	m1, m2, err := model.MomentsX()
-	if err != nil {
-		return StrategyMetrics{}, err
-	}
-	age := m2 / (2 * m1) // stationary age of the recovery-line renewal process
-	n := float64(len(sc.Mu))
-	m := StrategyMetrics{
-		Strategy:         StrategyAsync,
-		CheckpointRate:   sc.CheckpointCost * sc.Params().SumMu() / n,
-		RollbackRate:     sc.ErrorRate * age,
-		MeanRollback:     age,
-		DeadlineMissProb: -1,
-	}
-	if sc.Deadline > 0 {
-		miss, err := model.DeadlineMissProb(sc.Deadline)
-		if err != nil {
-			return StrategyMetrics{}, err
-		}
-		m.DeadlineMissProb = miss
-	}
-	m.OverheadRate = m.CheckpointRate + m.SyncLossRate + m.RollbackRate
-	return m, nil
-}
-
-func priceSync(sc Scenario) (StrategyMetrics, error) {
-	tau, err := sc.ResolveSyncInterval()
-	if err != nil {
-		return StrategyMetrics{}, err
-	}
-	ez, err := synch.MeanMax(sc.Mu)
-	if err != nil {
-		return StrategyMetrics{}, err
-	}
-	cl, err := synch.MeanLoss(sc.Mu)
-	if err != nil {
-		return StrategyMetrics{}, err
-	}
-	// OverheadRate = [CL + θ·cycle·n·τ/2]/(n·cycle): commitment waits plus
-	// mid-cycle rollback (an error discards on average τ/2 per process).
-	base, err := synch.OverheadRate(sc.Mu, tau, sc.ErrorRate)
-	if err != nil {
-		return StrategyMetrics{}, err
-	}
-	n := float64(len(sc.Mu))
-	cycle := tau + ez
-	syncLoss := cl / (n * cycle)
-	sumMu := sc.Params().SumMu()
-	m := StrategyMetrics{
-		Strategy: StrategySync,
-		// τ·Σμ asynchronous saves plus n commitment states, per cycle.
-		CheckpointRate:   sc.CheckpointCost * (tau*sumMu + n) / (n * cycle),
-		SyncLossRate:     syncLoss,
-		RollbackRate:     base - syncLoss,
-		MeanRollback:     tau / 2,
-		DeadlineMissProb: -1,
-		SyncInterval:     tau,
-	}
-	if sc.Deadline > 0 {
-		if sc.Deadline <= tau {
-			m.DeadlineMissProb = 1
-		} else {
-			m.DeadlineMissProb = 1 - dist.MaxExpCDF(sc.Mu, sc.Deadline-tau)
-		}
-	}
-	m.OverheadRate = m.CheckpointRate + m.SyncLossRate + m.RollbackRate
-	return m, nil
-}
-
-func pricePRP(sc Scenario) (StrategyMetrics, error) {
-	cfg := prpmodel.Config{Mu: append([]float64(nil), sc.Mu...), SaveCost: sc.CheckpointCost}
-	bound, err := cfg.RollbackDistanceBound()
-	if err != nil {
-		return StrategyMetrics{}, err
-	}
-	n := float64(cfg.N())
-	localAvg := 0.0
-	for i := range sc.Mu {
-		d, err := cfg.MeanRollbackToPRL(i)
-		if err != nil {
-			return StrategyMetrics{}, err
-		}
-		localAvg += d
-	}
-	localAvg /= n
-	roll := sc.PLocal*localAvg + (1-sc.PLocal)*bound
-	m := StrategyMetrics{
-		Strategy: StrategyPRP,
-		// Implants in the other n−1 processes (cfg.TimeOverheadRate) plus
-		// each process's own saves: t_r·Σμ in total.
-		CheckpointRate:   cfg.TimeOverheadRate() + sc.CheckpointCost*cfg.RPRate()/n,
-		RollbackRate:     sc.ErrorRate * roll,
-		MeanRollback:     roll,
-		DeadlineMissProb: -1,
-	}
-	if sc.Deadline > 0 {
-		m.DeadlineMissProb = 1 - dist.MaxExpCDF(sc.Mu, sc.Deadline)
-	}
-	m.OverheadRate = m.CheckpointRate + m.SyncLossRate + m.RollbackRate
-	return m, nil
 }

@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"recoveryblocks/internal/strategy"
+)
+
+// TestSpecSyncEveryKField: the version-1 schema accepts "sync_every_k",
+// defaults it per strategy.DefaultEveryK at evaluation time, and bounds it.
+func TestSpecSyncEveryKField(t *testing.T) {
+	scs, err := Load([]byte(`{
+		"version": 1,
+		"scenarios": [{
+			"name": "k-cell", "n": 3, "rho": 2, "sync_interval": 1,
+			"sync_every_k": 4, "reps": 1000,
+			"strategies": ["sync", "sync-every-k"]
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scs[0].EveryK != 4 {
+		t.Fatalf("EveryK = %d, want 4", scs[0].EveryK)
+	}
+
+	// Omitted k: stored as 0, resolved to the default at evaluation.
+	scs, err = Load([]byte(`{
+		"version": 1,
+		"scenarios": [{
+			"name": "k-default", "n": 3, "rho": 2, "sync_interval": 1,
+			"reps": 1000, "strategies": ["sync-every-k"]
+		}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scs[0].EveryK != 0 {
+		t.Fatalf("omitted k stored as %d, want 0", scs[0].EveryK)
+	}
+	adv, err := Advise(scs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := adv.Ranking[0].EveryK; got != strategy.DefaultEveryK {
+		t.Fatalf("advised k = %d, want default %d", got, strategy.DefaultEveryK)
+	}
+
+	// Out-of-range k fails validation loudly.
+	if _, err := Load([]byte(`{
+		"version": 1,
+		"scenarios": [{
+			"name": "k-bad", "n": 3, "rho": 2, "sync_interval": 1,
+			"sync_every_k": 100000, "reps": 1000, "strategies": ["sync-every-k"]
+		}]
+	}`)); err == nil || !strings.Contains(err.Error(), "sync_every_k") {
+		t.Fatalf("out-of-range sync_every_k: err = %v", err)
+	}
+}
+
+// TestUnknownStrategyStillRejected: the registry-backed parser must keep
+// rejecting junk, listing the catalog.
+func TestUnknownStrategyStillRejected(t *testing.T) {
+	_, err := Load([]byte(`{
+		"version": 1,
+		"scenarios": [{"name": "x", "n": 3, "rho": 2, "sync_interval": 1,
+			"reps": 1000, "strategies": ["vogon"]}]
+	}`))
+	if err == nil || !strings.Contains(err.Error(), "sync-every-k") {
+		t.Fatalf("unknown strategy: err = %v (want the catalog listed)", err)
+	}
+}
+
+// TestDefaultStrategiesStayThePaperTrio pins the version-1 schema contract:
+// a spec that omits "strategies" evaluates exactly async, sync, prp — never
+// a registered extension — so old spec files and their goldens are immune to
+// registry growth.
+func TestDefaultStrategiesStayThePaperTrio(t *testing.T) {
+	scs, err := Load([]byte(`{
+		"version": 1,
+		"scenarios": [{"name": "d", "n": 3, "rho": 2, "sync_interval": 1, "reps": 1000}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Strategy{StrategyAsync, StrategySync, StrategyPRP}
+	if len(scs[0].Strategies) != len(want) {
+		t.Fatalf("default strategies = %v, want %v", scs[0].Strategies, want)
+	}
+	for i, st := range want {
+		if scs[0].Strategies[i] != st {
+			t.Fatalf("default strategies = %v, want %v", scs[0].Strategies, want)
+		}
+	}
+}
+
+// TestEveryKFamilyExpansion: the sync-every-k family sweeps k, requests the
+// full catalog, and survives the Resolve/Validate gate.
+func TestEveryKFamilyExpansion(t *testing.T) {
+	f, err := DefaultFamily("sync-every-k", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 3 {
+		t.Fatalf("default sweep has %d scenarios, want 3 (k=1,2,4)", len(scs))
+	}
+	wantK := []int{1, 2, 4}
+	for i, sc := range scs {
+		if sc.EveryK != wantK[i] {
+			t.Errorf("scenario %q: k = %d, want %d", sc.Name, sc.EveryK, wantK[i])
+		}
+		if len(sc.Strategies) != len(strategy.Names()) {
+			t.Errorf("scenario %q requests %v, want the full catalog", sc.Name, sc.Strategies)
+		}
+		if !sc.wants(StrategySyncEveryK) {
+			t.Errorf("scenario %q does not request sync-every-k", sc.Name)
+		}
+	}
+	// A user-supplied strategies knob still overrides the generator's.
+	f.Strategies = []string{"sync-every-k"}
+	scs, err = f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		if len(sc.Strategies) != 1 || sc.Strategies[0] != StrategySyncEveryK {
+			t.Fatalf("strategies override lost: %v", sc.Strategies)
+		}
+	}
+}
+
+// TestRunEveryKScenario runs the engine end to end on a sync-every-k
+// scenario: the advisor must price sync and sync-every-k side by side and
+// every cross-check must pass, with the resolved k echoed in the summary.
+func TestRunEveryKScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs Monte Carlo cross-checks")
+	}
+	sc := Scenario{
+		Name:           "everyk-run",
+		Mu:             []float64{1, 1, 1},
+		Lambda:         uniformLambda(3, 1),
+		SyncInterval:   1,
+		EveryK:         2,
+		CheckpointCost: 0.05,
+		ErrorRate:      0.05,
+		PLocal:         0.5,
+		Strategies:     []Strategy{StrategySync, StrategySyncEveryK},
+		Reps:           4000,
+		Seed:           1983,
+	}
+	rep, err := Run([]Scenario{sc}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		for _, c := range rep.Failed() {
+			t.Errorf("FAIL %s: ref %v est %v", c.Name, c.Ref, c.Est)
+		}
+		t.Fatal("sync-every-k cross-checks failed")
+	}
+	res := rep.Scenarios[0]
+	if res.Summary.EveryK != 2 {
+		t.Fatalf("summary k = %d, want 2", res.Summary.EveryK)
+	}
+	if len(res.Advice.Ranking) != 2 {
+		t.Fatalf("ranking has %d rows, want 2", len(res.Advice.Ranking))
+	}
+	seenEveryK := false
+	for _, c := range res.Checks {
+		if strings.HasPrefix(c.Name, "everyk.") {
+			seenEveryK = true
+		}
+	}
+	if !seenEveryK {
+		t.Fatal("no everyk.* cross-checks in the report")
+	}
+	if !strings.Contains(rep.Format(), "k=2") {
+		t.Fatal("formatted report does not echo the block period")
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"recoveryblocks/internal/dist"
 	"recoveryblocks/internal/rbmodel"
+	"recoveryblocks/internal/strategy"
 )
 
 // A scenario family is a parameterized generator: one FamilySpec expands into
@@ -23,7 +24,10 @@ import (
 //   - deadline-sweep: fixed dynamics, sweeping the deadline — where the
 //     advisor's ranking flips from throughput-driven to risk-driven;
 //   - random: a seeded sample of the whole parameter space — grid-free
-//     coverage, reproducible from its seed.
+//     coverage, reproducible from its seed;
+//   - sync-every-k: the block-period sweep of the sync-every-k discipline,
+//     pricing every registered strategy side by side — the registry
+//     extension's scenario-family hook.
 //
 // Shared knobs (checkpoint_cost, error_rate, deadline, sync_interval,
 // p_local, strategies, reps, seed) apply to every generated scenario; each
@@ -49,6 +53,8 @@ type FamilySpec struct {
 	Slow []float64 `json:"slow,omitempty"`
 	// Deadlines lists the deadlines to sweep (deadline-sweep family).
 	Deadlines []float64 `json:"deadlines,omitempty"`
+	// EveryK lists the block periods k to sweep (sync-every-k family).
+	EveryK []int `json:"every_k,omitempty"`
 	// Count is the number of scenarios to draw (random family).
 	Count int `json:"count,omitempty"`
 
@@ -64,7 +70,7 @@ type FamilySpec struct {
 
 // Families returns the built-in family names, in canonical order.
 func Families() []string {
-	return []string{"uniform", "hot-pair", "pipeline", "straggler", "deadline-sweep", "random"}
+	return []string{"uniform", "hot-pair", "pipeline", "straggler", "deadline-sweep", "random", "sync-every-k"}
 }
 
 // DefaultFamily returns the named family with its default parameters — the
@@ -131,6 +137,8 @@ func (f FamilySpec) Expand() ([]Scenario, error) {
 		specs, err = base.expandDeadlineSweep()
 	case "random":
 		specs, err = base.expandRandom()
+	case "sync-every-k":
+		specs, err = base.expandEveryK()
 	default:
 		return nil, fmt.Errorf("scenario: unknown family %q (built-ins: %v)", base.Family, Families())
 	}
@@ -144,7 +152,11 @@ func (f FamilySpec) Expand() ([]Scenario, error) {
 		ss.CheckpointCost = base.CheckpointCost
 		ss.ErrorRate = base.ErrorRate
 		ss.PLocal = base.PLocal
-		ss.Strategies = base.Strategies
+		if base.Strategies != nil {
+			ss.Strategies = base.Strategies
+		}
+		// else: keep whatever the generator pre-filled (the sync-every-k
+		// family requests the full catalog); nil still means the default trio.
 		ss.Reps = base.Reps
 		ss.Seed = base.Seed + int64(i)*scenarioSeedStride
 		if ss.Deadline == 0 {
@@ -344,6 +356,48 @@ func (f FamilySpec) expandDeadlineSweep() ([]ScenarioSpec, error) {
 			Mu:       f.uniformMu(n),
 			Rho:      rho,
 			Deadline: d,
+		})
+	}
+	return out, nil
+}
+
+// expandEveryK sweeps the sync-every-k block period: n identical processes
+// at the target ρ, one scenario per k, each evaluating the full registered
+// catalog so the advisor prices the new discipline against the paper's
+// three — the comparison EXPERIMENTS.md reports. This is the strategy's
+// scenario-family hook; the registry-completeness test fails if a registered
+// discipline has none.
+func (f FamilySpec) expandEveryK() ([]ScenarioSpec, error) {
+	n := 3
+	if len(f.N) > 0 {
+		n = f.N[0]
+	}
+	if err := checkFamilyN("sync-every-k", n); err != nil {
+		return nil, err
+	}
+	rho := 2.0
+	if len(f.Rho) > 0 {
+		rho = f.Rho[0]
+	}
+	ks := f.EveryK
+	if ks == nil {
+		ks = []int{1, 2, 4}
+	}
+	catalog := make([]string, 0, len(strategy.Names()))
+	for _, name := range strategy.Names() {
+		catalog = append(catalog, string(name))
+	}
+	var out []ScenarioSpec
+	for _, k := range ks {
+		if k < 1 || k > strategy.MaxEveryK {
+			return nil, fmt.Errorf("sync-every-k period %d must be in [1, %d]", k, strategy.MaxEveryK)
+		}
+		out = append(out, ScenarioSpec{
+			Name:       fmt.Sprintf("%s/n%d/k%d", f.Name, n, k),
+			Mu:         f.uniformMu(n),
+			Rho:        rho,
+			SyncEveryK: k,
+			Strategies: catalog,
 		})
 	}
 	return out, nil

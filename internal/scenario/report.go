@@ -7,56 +7,49 @@ import (
 	"strings"
 	"text/tabwriter"
 
-	"recoveryblocks/internal/stats"
+	"recoveryblocks/internal/strategy"
 )
 
-// CheckKind labels how a cross-check is judged.
-type CheckKind string
+// CheckKind labels how a cross-check is judged. The kinds are defined by the
+// strategy layer (they are part of each discipline's estimator contract);
+// this package applies the batch-wide judging policy.
+type CheckKind = strategy.CheckKind
 
 const (
 	// KindZ is a one-sample z-test of a Monte Carlo mean against an exact
 	// model value; the tolerance is crit × the estimator's standard error.
-	KindZ CheckKind = "z"
+	KindZ = strategy.KindZ
 	// KindBinomZ is a score test for a Bernoulli proportion: the standard
 	// error comes from the model probability, √(p(1−p)/n), not from the
 	// sample. Essential for rare events — a generous deadline can make
 	// every simulated indicator zero, which leaves a plain z-test with no
 	// sample spread to divide by even though the estimate is exactly what
 	// the model predicts.
-	KindBinomZ CheckKind = "binom-z"
+	KindBinomZ = strategy.KindBinomZ
 	// KindBatchT is a one-sample t-test over independent replicate (batch)
 	// means — used where within-run samples are autocorrelated.
-	KindBatchT CheckKind = "batch-t"
+	KindBatchT = strategy.KindBatchT
 )
 
-// measurement is one raw comparison before batch-wide judging.
-type measurement struct {
-	scenario, name string
-	kind           CheckKind
-	ref            float64
-	w              stats.Welford
-	dof            int
-}
-
-// judge converts a measurement into a reported Check at the given critical
-// value.
-func (m measurement) judge(crit float64) Check {
+// judgeMeasurement converts a raw strategy-layer measurement into a reported
+// Check at the given critical value.
+func judgeMeasurement(m strategy.Measurement, crit float64) Check {
 	c := Check{
-		Scenario: m.scenario,
-		Name:     m.name,
-		Kind:     m.kind,
-		Ref:      m.ref,
-		Est:      m.w.Mean(),
-		SE:       m.w.StdErr(),
-		N:        m.w.N(),
-		DOF:      m.dof,
+		Scenario: m.Scenario,
+		Name:     m.Name,
+		Kind:     m.Kind,
+		Ref:      m.Ref,
+		Est:      m.W.Mean(),
+		SE:       m.W.StdErr(),
+		N:        m.W.N(),
+		DOF:      m.DOF,
 		Crit:     crit,
 	}
-	if m.kind == KindBinomZ {
+	if m.Kind == KindBinomZ {
 		// Score test: H0's own variance, so an all-zero indicator sample
 		// against a tiny-but-positive model probability scores ~0 instead
 		// of failing as degenerate.
-		c.SE = math.Sqrt(m.ref * (1 - m.ref) / float64(m.w.N()))
+		c.SE = math.Sqrt(m.Ref * (1 - m.Ref) / float64(m.W.N()))
 		c.CIHalf = crit * c.SE
 		if c.SE == 0 {
 			// ref is exactly 0 or 1: under H0 the estimate must match it.
@@ -64,13 +57,13 @@ func (m measurement) judge(crit float64) Check {
 			c.Pass = c.Est == c.Ref
 			return c
 		}
-		c.Stat = math.Abs((c.Est - m.ref) / c.SE)
+		c.Stat = math.Abs((c.Est - m.Ref) / c.SE)
 		c.Pass = c.Stat <= crit
 		return c
 	}
 	c.CIHalf = crit * c.SE
-	w := m.w
-	z, err := w.ZScoreAgainst(m.ref)
+	w := m.W
+	z, err := w.ZScoreAgainst(m.Ref)
 	if err != nil {
 		// Degenerate sample (no spread to test against): only an exact
 		// match passes; the sentinel keeps the report JSON-encodable.
@@ -108,6 +101,7 @@ type Summary struct {
 	Rho            float64   `json:"rho"`
 	SyncInterval   float64   `json:"sync_interval"` // resolved τ
 	OptimalSync    bool      `json:"optimal_sync,omitempty"`
+	EveryK         int       `json:"sync_every_k,omitempty"` // resolved k (sync-every-k requested)
 	CheckpointCost float64   `json:"checkpoint_cost"`
 	Deadline       float64   `json:"deadline,omitempty"`
 	ErrorRate      float64   `json:"error_rate"`
@@ -163,8 +157,11 @@ func (r *Report) Format() string {
 	for _, res := range r.Scenarios {
 		s := res.Summary
 		fmt.Fprintf(&b, "\n--- %s ---\n", s.Name)
-		fmt.Fprintf(&b, "n=%d  mu=%s  rho=%.4g  tau=%.4g%s  t_r=%.4g  theta=%.4g",
-			s.N, fvec(s.Mu), s.Rho, s.SyncInterval, optMark(s.OptimalSync), s.CheckpointCost, s.ErrorRate)
+		fmt.Fprintf(&b, "n=%d  mu=%s  rho=%.4g  tau=%.4g%s", s.N, fvec(s.Mu), s.Rho, s.SyncInterval, optMark(s.OptimalSync))
+		if s.EveryK > 0 {
+			fmt.Fprintf(&b, "  k=%d", s.EveryK)
+		}
+		fmt.Fprintf(&b, "  t_r=%.4g  theta=%.4g", s.CheckpointCost, s.ErrorRate)
 		if s.Deadline > 0 {
 			fmt.Fprintf(&b, "  deadline=%.4g", s.Deadline)
 		}

@@ -5,10 +5,8 @@ import (
 	"fmt"
 
 	"recoveryblocks/internal/mc"
-	"recoveryblocks/internal/rbmodel"
-	"recoveryblocks/internal/sim"
 	"recoveryblocks/internal/stats"
-	"recoveryblocks/internal/synch"
+	"recoveryblocks/internal/strategy"
 )
 
 // Options tunes a batch run.
@@ -33,32 +31,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Seed offsets separating the estimators of one scenario; each estimator
-// must draw from its own substream family or two checks would share
-// randomness and their errors would correlate. Chosen well clear of the
-// block counts any Reps produces, and of scenarioSeedStride multiples.
-const (
-	seedOffAsync = 17
-	seedOffSync  = 104729
-	seedOffPRP   = 350377
-)
-
-// prpWarmup is the simulated time discarded before PRP probes; it must
-// dominate the relaxation time of the recovery-line renewal process (the
-// shipped grids keep E[X] below a few time units).
-const prpWarmup = 100
-
-// prpReplicates is the batch count for the PRP checks: probes within one run
-// are autocorrelated, so the standard error comes from independent replicate
-// means and the critical value is Student-t at prpReplicates−1 degrees of
-// freedom (kept ≥ 10, where stats.TCrit's expansion is accurate).
-const prpReplicates = 12
-
 // Run evaluates every scenario of the batch: advisor pricing per strategy,
 // plus model↔simulator cross-checks for each requested strategy, judged at
-// the family-wise error rate of opt. Scenarios fan out across the internal/mc
-// worker pool; fixed seeds make the report bit-identical for every worker
-// count.
+// the family-wise error rate of opt. The checks dispatch through the
+// strategy registry's generic equivalence path (strategy.CrossCheck), so a
+// newly registered discipline is cross-checked here with no change to this
+// package. Scenarios fan out across the internal/mc worker pool; fixed seeds
+// make the report bit-identical for every worker count.
 func Run(scenarios []Scenario, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
 	if len(scenarios) == 0 {
@@ -73,7 +52,7 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 	type evalOut struct {
 		advice *Advice
 		sum    Summary
-		ms     []measurement
+		ms     []strategy.Measurement
 		err    error
 	}
 	// One scenario per pool slot (mc.Map): the item order and each
@@ -106,10 +85,10 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 		res := Result{Summary: o.sum, Advice: *o.advice}
 		for _, m := range o.ms {
 			mcrit := crit
-			if m.kind == KindBatchT && m.dof >= 1 {
-				mcrit = stats.TCrit(opt.Alpha, max(k, 1), m.dof)
+			if m.Kind == KindBatchT && m.DOF >= 1 {
+				mcrit = stats.TCrit(opt.Alpha, max(k, 1), m.DOF)
 			}
-			c := m.judge(mcrit)
+			c := judgeMeasurement(m, mcrit)
 			if !c.Pass {
 				res.Failures++
 				rep.Failures++
@@ -121,16 +100,16 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// evaluate runs the cross-check estimators of one scenario — one simulator
-// family per requested strategy — and pairs each estimate with its exact
-// reference. Judging happens batch-wide (the Bonferroni critical value
-// depends on the total comparison count).
-func evaluate(sc Scenario) (Summary, []measurement, error) {
-	// Resolve the synchronization interval only when the sync strategy is
-	// in play: Validate deliberately allows "optimal" with θ = 0 as long as
-	// sync is not requested, and the optimum is undefined there.
+// evaluate runs the cross-check estimators of one scenario — the registry's
+// Model/Simulate pairing for each requested strategy, in registration order
+// — and returns the raw measurements. Judging happens batch-wide (the
+// Bonferroni critical value depends on the total comparison count).
+func evaluate(sc Scenario) (Summary, []strategy.Measurement, error) {
+	// Resolve the synchronization interval only when a synchronized
+	// discipline is in play: Validate deliberately allows "optimal" with
+	// θ = 0 as long as none is requested, and the optimum is undefined there.
 	tau := sc.SyncInterval
-	if sc.wants(StrategySync) {
+	if sc.wants(StrategySync) || sc.wants(StrategySyncEveryK) {
 		var err error
 		tau, err = sc.ResolveSyncInterval()
 		if err != nil {
@@ -151,155 +130,23 @@ func evaluate(sc Scenario) (Summary, []measurement, error) {
 		Reps:           sc.Reps,
 		Seed:           sc.Seed,
 	}
+	w := sc.workload()
+	w.SyncInterval = tau
+	w.OptimalSync = false
+	if sc.wants(StrategySyncEveryK) {
+		sum.EveryK = w.ResolveEveryK()
+	}
 
-	var ms []measurement
-	add := func(name string, kind CheckKind, ref float64, w stats.Welford) {
-		dof := 0
-		if kind == KindBatchT {
-			dof = w.N() - 1
+	var ms []strategy.Measurement
+	for _, impl := range strategy.All() {
+		if !sc.wants(Strategy(impl.Name())) {
+			continue
 		}
-		ms = append(ms, measurement{
-			scenario: sc.Name, name: name, kind: kind, ref: ref, w: w, dof: dof,
-		})
-	}
-	if sc.wants(StrategyAsync) {
-		if err := checkAsync(sc, add); err != nil {
+		rec := strategy.NewRecorder(sc.Name)
+		if err := strategy.CrossCheck(impl, w, rec); err != nil {
 			return Summary{}, nil, err
 		}
-	}
-	if sc.wants(StrategySync) {
-		if err := checkSync(sc, tau, add); err != nil {
-			return Summary{}, nil, err
-		}
-	}
-	if sc.wants(StrategyPRP) {
-		if err := checkPRP(sc, add); err != nil {
-			return Summary{}, nil, err
-		}
+		ms = append(ms, rec.Measurements()...)
 	}
 	return sum, ms, nil
-}
-
-type addFn func(name string, kind CheckKind, ref float64, w stats.Welford)
-
-// checkAsync cross-validates the advisor's Section 2 substrate: the exact
-// chain's E[X] against SimulateAsync, and — when the scenario sets a
-// deadline — P(X > d) against the simulated indicator.
-func checkAsync(sc Scenario, add addFn) error {
-	p := sc.Params()
-	model, err := rbmodel.NewAsync(p)
-	if err != nil {
-		return err
-	}
-	exactX, err := model.MeanX()
-	if err != nil {
-		return err
-	}
-	sr, err := sim.SimulateAsync(p, sim.AsyncOptions{
-		Intervals:   sc.Reps,
-		Seed:        sc.Seed + seedOffAsync,
-		KeepSamples: sc.Deadline > 0,
-		Workers:     1,
-	})
-	if err != nil {
-		return err
-	}
-	add("async.meanX", KindZ, exactX, sr.X)
-	if sc.Deadline > 0 {
-		miss, err := model.DeadlineMissProb(sc.Deadline)
-		if err != nil {
-			return err
-		}
-		var ind stats.Welford
-		for _, x := range sr.Samples {
-			if x > sc.Deadline {
-				ind.Add(1)
-			} else {
-				ind.Add(0)
-			}
-		}
-		add("async.deadlineMiss", KindBinomZ, miss, ind)
-	}
-	return nil
-}
-
-// checkSync cross-validates the Section 3 substrate at the scenario's
-// resolved request interval: under the elapsed-since-line strategy the
-// request fires exactly τ after each line, so the full protocol simulator's
-// loss, cycle length and saved-state count have closed-form references
-// (E[CL], τ+E[Z], τ·Σμ).
-func checkSync(sc Scenario, tau float64, add addFn) error {
-	ez, err := synch.MeanMax(sc.Mu)
-	if err != nil {
-		return err
-	}
-	cl, err := synch.MeanLoss(sc.Mu)
-	if err != nil {
-		return err
-	}
-	ss, err := sim.SimulateSync(sc.Mu, sim.SyncOptions{
-		Strategy:  sim.SyncElapsedSinceLine,
-		Threshold: tau,
-		Cycles:    sc.Reps,
-		Seed:      sc.Seed + seedOffSync,
-		Workers:   1,
-	})
-	if err != nil {
-		return err
-	}
-	sumMu := sc.Params().SumMu()
-	add("sync.meanCL", KindZ, cl, ss.Loss)
-	add("sync.cycle", KindZ, tau+ez, ss.CycleLength)
-	add("sync.saved", KindZ, tau*sumMu, ss.StatesSaved)
-	return nil
-}
-
-// checkPRP cross-validates the Section 4 substrate with the stationary
-// identities PASTA buys: the propagated-error rollback distance equals
-// E[max_i Exp(μ_i)] (the advisor's bound, met with equality) and the
-// local-error distance equals the uniform-victim mean of the RP ages,
-// avg(1/μ_i). Probes within one run are autocorrelated, so both tests are
-// batch-means t-tests over independent replicates on disjoint substream
-// families.
-func checkPRP(sc Scenario, add addFn) error {
-	p := sc.Params()
-	per := sc.Reps / prpReplicates
-	if per < 1 {
-		per = 1
-	}
-	var local, propagated stats.Welford
-	for r := 0; r < prpReplicates; r++ {
-		sr, err := sim.SimulatePRP(p, sim.PRPOptions{
-			Probes:  per,
-			Seed:    sc.Seed + seedOffPRP + int64(r),
-			Warmup:  prpWarmup,
-			PLocal:  sc.PLocal,
-			Workers: 1,
-		})
-		if err != nil {
-			return err
-		}
-		if sc.PLocal > 0 {
-			local.Add(sr.LocalDistance.Mean())
-		}
-		if sc.PLocal < 1 {
-			propagated.Add(sr.PropagatedDistance.Mean())
-		}
-	}
-	if sc.PLocal < 1 {
-		bound, err := synch.MeanMax(sc.Mu)
-		if err != nil {
-			return err
-		}
-		add("prp.propagated", KindBatchT, bound, propagated)
-	}
-	if sc.PLocal > 0 {
-		invMu := 0.0
-		for _, m := range sc.Mu {
-			invMu += 1 / m
-		}
-		invMu /= float64(len(sc.Mu))
-		add("prp.local", KindBatchT, invMu, local)
-	}
-	return nil
 }

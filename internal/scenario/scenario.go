@@ -7,58 +7,65 @@
 // scenarios and/or parameterized scenario families (see FamilySpec) that
 // expand into grids of concrete scenarios. The batch runner (Run) fans the
 // expanded grid across the deterministic Monte Carlo worker pool of
-// internal/mc, evaluating every scenario under each requested strategy with
-// the exact models (rbmodel for asynchronous recovery blocks, synch for
-// synchronized ones, prpmodel for pseudo recovery points) and cross-checking
-// each exact value against the corresponding discrete-event simulator
-// (internal/sim) with the confidence-interval equivalence tests of
-// internal/stats — the same oracle discipline as internal/xval, applied to
-// user workloads instead of a fixed validation grid.
+// internal/mc, evaluating every scenario under each requested strategy and
+// cross-checking each exact value against the corresponding discrete-event
+// simulator with the confidence-interval equivalence tests of internal/stats
+// — the same oracle discipline as internal/xval, applied to user workloads
+// instead of a fixed validation grid.
 //
-// On top of the evaluation sits the strategy advisor (Advise): for one
-// scenario it computes, per strategy, the long-run fraction of computing
-// power lost to checkpointing, synchronization and expected rollback, plus
-// the deadline-miss probability, and ranks the strategies by total overhead.
+// The recovery organizations themselves live behind the strategy registry
+// (internal/strategy): this package never hard-codes a discipline. The
+// advisor (Advise) prices each requested strategy through its registered
+// exact cost model and ranks by total overhead; the runner cross-checks each
+// one through the registry's generic Model/Simulate equivalence path. A
+// discipline registered tomorrow is advised, cross-checked and reported here
+// with no change to this package.
+//
 // The report (Report) is machine-readable; Run's cross-checks make its
 // numbers trustworthy, and fixed seeds make them bit-identical for every
-// worker count.
-//
-// The engine is surfaced as facade exports (LoadScenarios, RunScenarios,
-// Advise), the `rbrepro scenario` subcommand, and shipped spec files under
-// testdata/scenarios/ pinned by golden reports.
+// worker count. The engine is surfaced as facade exports (LoadScenarios,
+// RunScenarios, Advise), the `rbrepro scenario` subcommand, and shipped spec
+// files under testdata/scenarios/ pinned by golden reports.
 package scenario
 
-import "fmt"
+import "recoveryblocks/internal/strategy"
 
 // SpecVersion is the scenario-spec schema version this package decodes.
 // Version mismatches are rejected by Decode, never guessed at.
 const SpecVersion = 1
 
-// Strategy names one of the paper's three recovery organizations.
-type Strategy string
+// Strategy names a recovery organization — a key into the strategy registry
+// (internal/strategy).
+type Strategy = strategy.Name
 
+// The registered strategy names, re-exported for spec building.
 const (
 	// StrategyAsync is asynchronous recovery blocks (Section 2): no
 	// coordination, rollback propagation and the domino effect.
-	StrategyAsync Strategy = "async"
+	StrategyAsync = strategy.Async
 	// StrategySync is synchronized recovery blocks (Section 3): commitment
 	// waits at test lines in exchange for guaranteed recovery lines.
-	StrategySync Strategy = "sync"
+	StrategySync = strategy.Sync
 	// StrategyPRP is pseudo recovery points (Section 4): implanted states
 	// bound the rollback distance without forced waits.
-	StrategyPRP Strategy = "prp"
+	StrategyPRP = strategy.PRP
+	// StrategySyncEveryK synchronizes only at every k-th recovery block
+	// (Section 3 generalized; k = 1 is the paper's synchronized case).
+	StrategySyncEveryK = strategy.SyncEveryK
 )
 
-// AllStrategies returns every strategy, in the canonical report order.
+// AllStrategies returns the paper's three disciplines, in the canonical
+// report order. It is the default set a spec gets when it omits
+// "strategies" — part of the version-1 schema contract, so registering a new
+// discipline never silently changes what an existing spec evaluates. The
+// full catalog (including extensions like sync-every-k) is strategy.Names();
+// specs opt in by listing a name.
 func AllStrategies() []Strategy {
 	return []Strategy{StrategyAsync, StrategySync, StrategyPRP}
 }
 
-// ParseStrategy converts a spec-file strategy name.
+// ParseStrategy converts a spec-file strategy name, accepting exactly the
+// registered catalog.
 func ParseStrategy(s string) (Strategy, error) {
-	switch Strategy(s) {
-	case StrategyAsync, StrategySync, StrategyPRP:
-		return Strategy(s), nil
-	}
-	return "", fmt.Errorf("scenario: unknown strategy %q (want async, sync or prp)", s)
+	return strategy.Parse(s)
 }

@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"recoveryblocks/internal/rbmodel"
+	"recoveryblocks/internal/strategy"
 	"recoveryblocks/internal/synch"
 )
 
@@ -31,6 +32,12 @@ const (
 	// scenario requests the sync strategy but gives no "sync_interval".
 	DefaultSyncInterval = 1.0
 )
+
+// DefaultSyncEveryK is the block period substituted when a scenario requests
+// the sync-every-k strategy but gives no "sync_every_k" (it equals
+// strategy.DefaultEveryK; re-stated here because spec defaults are part of
+// the version-1 schema contract).
+const DefaultSyncEveryK = strategy.DefaultEveryK
 
 // SyncSpec is the decoded "sync_interval" field: either a positive request
 // interval τ, or the string "optimal", meaning the runner resolves τ with
@@ -93,6 +100,7 @@ type ScenarioSpec struct {
 	LambdaMatrix   [][]float64 `json:"lambda_matrix,omitempty"`
 	Rho            float64     `json:"rho,omitempty"`
 	SyncInterval   SyncSpec    `json:"sync_interval"`
+	SyncEveryK     int         `json:"sync_every_k,omitempty"`
 	CheckpointCost float64     `json:"checkpoint_cost,omitempty"`
 	Deadline       float64     `json:"deadline,omitempty"`
 	ErrorRate      float64     `json:"error_rate,omitempty"`
@@ -118,6 +126,8 @@ type Scenario struct {
 	// false, SyncInterval is the interval τ.
 	OptimalSync  bool
 	SyncInterval float64
+	// EveryK is the sync-every-k block period; 0 means DefaultSyncEveryK.
+	EveryK int
 	// CheckpointCost is t_r, the time to record one process state.
 	CheckpointCost float64
 	// Deadline enables the deadline-miss metrics and checks when positive.
@@ -287,6 +297,7 @@ func (ss ScenarioSpec) Resolve() (Scenario, error) {
 		Lambda:         lambda,
 		OptimalSync:    ss.SyncInterval.Optimal,
 		SyncInterval:   ss.SyncInterval.Tau,
+		EveryK:         ss.SyncEveryK,
 		CheckpointCost: ss.CheckpointCost,
 		Deadline:       ss.Deadline,
 		ErrorRate:      ss.ErrorRate,
@@ -359,7 +370,7 @@ func (sc Scenario) Validate() error {
 		return fail("%v", err)
 	}
 	if sc.OptimalSync {
-		if sc.ErrorRate <= 0 && sc.wants(StrategySync) {
+		if sc.ErrorRate <= 0 && (sc.wants(StrategySync) || sc.wants(StrategySyncEveryK)) {
 			return fail(`sync_interval "optimal" needs a positive error_rate (with no errors the optimum is to never synchronize)`)
 		}
 	} else if sc.SyncInterval <= 0 || math.IsNaN(sc.SyncInterval) || math.IsInf(sc.SyncInterval, 0) {
@@ -392,11 +403,39 @@ func (sc Scenario) Validate() error {
 			return fail("strategy %q listed twice", st)
 		}
 		seen[st] = true
+		// Discipline-specific parameter validation (e.g. the sync-every-k
+		// block-period bounds) lives with the discipline.
+		impl, _ := strategy.Lookup(st)
+		if err := impl.Validate(sc.workload()); err != nil {
+			return fail("%v", err)
+		}
 	}
 	if sc.Reps < 100 {
 		return fail("reps = %d must be ≥ 100 (the equivalence tests need real samples)", sc.Reps)
 	}
 	return nil
+}
+
+// workload converts the scenario into the strategy layer's evaluation cell,
+// with the synchronization interval and worker budget as the scenario
+// carries them (callers that have resolved "optimal" overwrite SyncInterval
+// and clear OptimalSync before handing the workload to Model/Simulate).
+func (sc Scenario) workload() strategy.Workload {
+	return strategy.Workload{
+		Name:           sc.Name,
+		Mu:             sc.Mu,
+		Lambda:         sc.Lambda,
+		SyncInterval:   sc.SyncInterval,
+		OptimalSync:    sc.OptimalSync,
+		EveryK:         sc.EveryK,
+		CheckpointCost: sc.CheckpointCost,
+		Deadline:       sc.Deadline,
+		ErrorRate:      sc.ErrorRate,
+		PLocal:         sc.PLocal,
+		Reps:           sc.Reps,
+		Seed:           sc.Seed,
+		Workers:        1,
+	}
 }
 
 // Params assembles the rbmodel parameterization of the scenario.

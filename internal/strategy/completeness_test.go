@@ -1,0 +1,110 @@
+package strategy_test
+
+// The registry-completeness gate: registering a recovery discipline is a
+// contract, not a courtesy. Every strategy in the registry must ship with
+//
+//  1. cross-validation coverage — at least one cell of the shipped xval
+//     grids exercises its XValChecks family, so the discipline's model and
+//     simulator are under the statistical oracle;
+//  2. a scenario-family hook — at least one built-in scenario family
+//     requests it, so the advisor prices it somewhere by default and the
+//     scenario engine cross-checks it end to end;
+//  3. a working generic equivalence path — Model covers every Simulate
+//     observable (CrossCheck must not fail on shape).
+//
+// CI runs this test by name; a drop-in strategy that forgets its harness
+// hooks fails the build, which is exactly the point.
+
+import (
+	"testing"
+
+	"recoveryblocks/internal/scenario"
+	"recoveryblocks/internal/strategy"
+	"recoveryblocks/internal/xval"
+)
+
+// completenessCells is the union of the shipped deterministic grids a
+// strategy may claim coverage from.
+func completenessCells() []xval.Scenario {
+	return append(xval.ShortGrid(), xval.EveryKGrid()...)
+}
+
+func TestRegistryCompleteness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every discipline's estimators over the shipped grids")
+	}
+	strategies := strategy.All()
+	if len(strategies) < 4 {
+		t.Fatalf("registry holds %d strategies, want the paper's trio plus sync-every-k", len(strategies))
+	}
+
+	// 1. xval equivalence coverage over the shipped grids (tiny budgets:
+	// this test checks coverage exists, not agreement — the grid tests and
+	// goldens check agreement at full budget).
+	covered := map[strategy.Name]int{}
+	for _, cell := range completenessCells() {
+		w := cell.Workload(1)
+		w.Reps = 200
+		for _, st := range strategies {
+			rec := strategy.NewRecorder(cell.Name)
+			if err := st.XValChecks(w, rec); err != nil {
+				t.Fatalf("%s on cell %s: %v", st.Name(), cell.Name, err)
+			}
+			covered[st.Name()] += len(rec.Measurements())
+		}
+	}
+	for _, st := range strategies {
+		if covered[st.Name()] == 0 {
+			t.Errorf("strategy %q has no xval equivalence coverage on any shipped grid cell", st.Name())
+		}
+	}
+
+	// 2. Scenario-family hook: every strategy must be requested by at least
+	// one built-in family's default expansion.
+	requested := map[strategy.Name]bool{}
+	for _, fam := range scenario.Families() {
+		f, err := scenario.DefaultFamily(fam, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scs, err := f.Expand()
+		if err != nil {
+			t.Fatalf("family %q: %v", fam, err)
+		}
+		for _, sc := range scs {
+			for _, st := range sc.Strategies {
+				requested[st] = true
+			}
+		}
+	}
+	for _, st := range strategies {
+		if !requested[st.Name()] {
+			t.Errorf("strategy %q has no scenario-family hook (no built-in family requests it)", st.Name())
+		}
+	}
+
+	// 3. The generic equivalence path holds for every discipline on a
+	// canonical interacting workload.
+	w := strategy.Workload{
+		Name:           "completeness",
+		Mu:             []float64{1, 1, 1},
+		Lambda:         [][]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}},
+		SyncInterval:   1,
+		CheckpointCost: 0.05,
+		Deadline:       3,
+		ErrorRate:      0.05,
+		PLocal:         0.5,
+		Reps:           300,
+		Seed:           1983,
+		Workers:        1,
+	}
+	for _, st := range strategies {
+		rec := strategy.NewRecorder(w.Name)
+		if err := strategy.CrossCheck(st, w, rec); err != nil {
+			t.Errorf("strategy %q: generic equivalence path broken: %v", st.Name(), err)
+		}
+		if len(rec.Measurements()) == 0 {
+			t.Errorf("strategy %q: CrossCheck recorded nothing", st.Name())
+		}
+	}
+}

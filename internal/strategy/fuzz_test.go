@@ -1,0 +1,37 @@
+package strategy
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseStrategy pins the -strategy CLI flag's parsing seam: whatever
+// string a user passes, Parse must never panic, must accept exactly the
+// registered catalog, and must return a self-diagnosing error for everything
+// else. (cmd/rbrepro routes both `xval -strategy` and `scenario -strategy`
+// through this function.)
+func FuzzParseStrategy(f *testing.F) {
+	for _, n := range Names() {
+		f.Add(string(n))
+	}
+	f.Add("")
+	f.Add("ASYNC")
+	f.Add("sync-every-")
+	f.Add("sync every k")
+	f.Add(strings.Repeat("x", 1<<10))
+	f.Fuzz(func(t *testing.T, s string) {
+		name, err := Parse(s)
+		if _, registered := Lookup(Name(s)); registered {
+			if err != nil || string(name) != s {
+				t.Fatalf("registered name %q rejected: %v", s, err)
+			}
+			return
+		}
+		if err == nil {
+			t.Fatalf("unregistered name %q accepted as %q", s, name)
+		}
+		if !strings.Contains(err.Error(), "registered:") {
+			t.Fatalf("error for %q does not list the catalog: %v", s, err)
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package strategy
+
+import "recoveryblocks/internal/stats"
+
+// CheckKind labels how a cross-check measurement is judged. The judging
+// itself (critical values, tolerances, report shape) belongs to the harness —
+// the scenario engine and internal/xval each apply their own family-wise
+// policy — but the kinds are part of the strategy contract, because each
+// discipline knows which test its estimators support.
+type CheckKind string
+
+const (
+	// KindZ is a one-sample z-test of a Monte Carlo mean against an exact
+	// model value; the tolerance is crit × the estimator's standard error.
+	KindZ CheckKind = "z"
+	// KindBinomZ is a score test for a Bernoulli proportion: the standard
+	// error comes from the model probability, √(p(1−p)/n), not from the
+	// sample. Essential for rare events — a generous deadline can make
+	// every simulated indicator zero, which leaves a plain z-test with no
+	// sample spread to divide by even though the estimate is exactly what
+	// the model predicts.
+	KindBinomZ CheckKind = "binom-z"
+	// KindBatchT is a one-sample t-test over independent replicate (batch)
+	// means — used where within-run samples are autocorrelated, so the
+	// standard error must come from iid batches and the small batch count
+	// calls for a Student-t critical value.
+	KindBatchT CheckKind = "batch-t"
+	// KindTwoSampleZ compares two independent Monte Carlo means (both sides
+	// carry sampling error).
+	KindTwoSampleZ CheckKind = "two-sample-z"
+	// KindNumeric compares two exact solver routes to the same quantity with
+	// a relative round-off tolerance.
+	KindNumeric CheckKind = "numeric"
+)
+
+// Measurement is one raw model↔simulator comparison before harness-side
+// judging: the observable, the test kind, the exact reference and the
+// Welford accumulator carrying the estimate.
+type Measurement struct {
+	// Scenario names the workload the measurement belongs to.
+	Scenario string
+	// Name is the observable ("async.meanX", "everyk.cycle", …).
+	Name string
+	// Kind selects the equivalence test.
+	Kind CheckKind
+	// Ref is the exact reference value (one-sample kinds and KindNumeric).
+	Ref float64
+	// RefW is the reference estimate (KindTwoSampleZ only).
+	RefW *stats.Welford
+	// W is the estimate under test (statistical kinds).
+	W stats.Welford
+	// Est is the second exact route (KindNumeric only).
+	Est float64
+	// DOF is the batch-means degrees of freedom (KindBatchT only).
+	DOF int
+}
+
+// Recorder accumulates the measurements of one (workload, strategy)
+// evaluation. Strategies append through the typed helpers; harnesses read
+// Measurements back in append order — which is therefore the report row
+// order, pinned by the golden files.
+type Recorder struct {
+	// Scenario is stamped onto every recorded measurement.
+	Scenario string
+	ms       []Measurement
+}
+
+// NewRecorder starts a recorder for the named workload.
+func NewRecorder(scenario string) *Recorder { return &Recorder{Scenario: scenario} }
+
+// Record appends a fully built measurement, stamping the recorder's scenario
+// and deriving the batch-t degrees of freedom if unset.
+func (r *Recorder) Record(m Measurement) {
+	m.Scenario = r.Scenario
+	if m.Kind == KindBatchT && m.DOF == 0 {
+		m.DOF = m.W.N() - 1
+	}
+	r.ms = append(r.ms, m)
+}
+
+// Add records a one-sample comparison of a Monte Carlo estimate against an
+// exact reference.
+func (r *Recorder) Add(name string, kind CheckKind, ref float64, w stats.Welford) {
+	r.Record(Measurement{Name: name, Kind: kind, Ref: ref, W: w})
+}
+
+// AddTwoSample records a two-sample comparison of two independent estimates.
+func (r *Recorder) AddTwoSample(name string, refW, w stats.Welford) {
+	r.Record(Measurement{Name: name, Kind: KindTwoSampleZ, RefW: &refW, W: w})
+}
+
+// AddNumeric records an exact-vs-exact comparison of two solver routes.
+func (r *Recorder) AddNumeric(name string, ref, est float64) {
+	r.Record(Measurement{Name: name, Kind: KindNumeric, Ref: ref, Est: est})
+}
+
+// Measurements returns the recorded comparisons in append order.
+func (r *Recorder) Measurements() []Measurement { return r.ms }

@@ -1,0 +1,84 @@
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The registry. Registration order is the canonical catalog order — the
+// paper's three disciplines in section order, then extensions — and every
+// registry reader (the scenario engine's dispatch, `rbrepro strategies`,
+// the completeness test) iterates it deterministically.
+var registry struct {
+	order []Strategy
+	byKey map[Name]Strategy
+}
+
+// Register adds a discipline to the registry. It panics on a duplicate or
+// empty name: registration happens once, at init, and a collision is a
+// programming error that must not survive to runtime dispatch.
+func Register(s Strategy) {
+	name := s.Name()
+	if name == "" {
+		panic("strategy: Register with empty name")
+	}
+	if registry.byKey == nil {
+		registry.byKey = make(map[Name]Strategy)
+	}
+	if _, dup := registry.byKey[name]; dup {
+		panic(fmt.Sprintf("strategy: duplicate registration of %q", name))
+	}
+	registry.byKey[name] = s
+	registry.order = append(registry.order, s)
+}
+
+func init() {
+	// Canonical order: the paper's disciplines by section, then extensions.
+	Register(asyncStrategy{})
+	Register(syncStrategy{})
+	Register(prpStrategy{})
+	Register(everyKStrategy{})
+}
+
+// All returns every registered discipline in registration order. The slice
+// is a copy; callers may reorder it.
+func All() []Strategy {
+	return append([]Strategy(nil), registry.order...)
+}
+
+// Names returns the registered names in registration order.
+func Names() []Name {
+	out := make([]Name, len(registry.order))
+	for i, s := range registry.order {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+// Lookup resolves a registered discipline by name.
+func Lookup(name Name) (Strategy, bool) {
+	s, ok := registry.byKey[name]
+	return s, ok
+}
+
+// Parse validates a user-supplied strategy name (spec files, the -strategy
+// CLI flag) against the registry. The error lists the catalog so a typo is
+// self-diagnosing.
+func Parse(s string) (Name, error) {
+	if _, ok := registry.byKey[Name(s)]; ok {
+		return Name(s), nil
+	}
+	return "", fmt.Errorf("strategy: unknown strategy %q (registered: %s)", s, catalogList())
+}
+
+// catalogList renders the registered names for error messages.
+func catalogList() string {
+	names := Names()
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = string(n)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ", ")
+}

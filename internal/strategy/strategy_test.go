@@ -1,0 +1,211 @@
+package strategy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"recoveryblocks/internal/stats"
+)
+
+// testWorkload is a small asymmetric workload exercising every pricing and
+// simulation path (deadline set, mixed error locality, interactions).
+func testWorkload() Workload {
+	return Workload{
+		Name:           "wl",
+		Mu:             []float64{1.5, 1.0, 0.5},
+		Lambda:         uniformMatrix(3, 1),
+		SyncInterval:   1.5,
+		EveryK:         2,
+		CheckpointCost: 0.05,
+		Deadline:       4,
+		ErrorRate:      0.1,
+		PLocal:         0.5,
+		Reps:           4000,
+		Seed:           1983,
+		Workers:        1,
+	}
+}
+
+func uniformMatrix(n int, lambda float64) [][]float64 {
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = lambda
+			}
+		}
+	}
+	return m
+}
+
+func TestRegistryCatalog(t *testing.T) {
+	names := Names()
+	want := []Name{Async, Sync, PRP, SyncEveryK}
+	if len(names) != len(want) {
+		t.Fatalf("registry holds %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("registration order %v, want %v", names, want)
+		}
+	}
+	for _, st := range All() {
+		if st.Describe() == "" {
+			t.Errorf("strategy %s has no description", st.Name())
+		}
+		got, err := Parse(string(st.Name()))
+		if err != nil || got != st.Name() {
+			t.Errorf("Parse(%q) = %v, %v", st.Name(), got, err)
+		}
+		if _, ok := Lookup(st.Name()); !ok {
+			t.Errorf("Lookup(%q) failed", st.Name())
+		}
+	}
+	if _, err := Parse("bogus"); err == nil || !strings.Contains(err.Error(), "sync-every-k") {
+		t.Fatalf("Parse(bogus) = %v, want an error listing the catalog", err)
+	}
+}
+
+// TestModelCoversEverySimulateObservable is the contract behind CrossCheck:
+// for every registered discipline, every estimate Simulate returns must have
+// a Model reference under the same name.
+func TestModelCoversEverySimulateObservable(t *testing.T) {
+	w := testWorkload()
+	w.Reps = 500
+	for _, st := range All() {
+		refs, err := st.Model(w)
+		if err != nil {
+			t.Fatalf("%s.Model: %v", st.Name(), err)
+		}
+		ests, err := st.Simulate(w)
+		if err != nil {
+			t.Fatalf("%s.Simulate: %v", st.Name(), err)
+		}
+		if len(ests) == 0 {
+			t.Fatalf("%s.Simulate returned no estimates", st.Name())
+		}
+		for _, e := range ests {
+			if _, ok := refs[e.Name]; !ok {
+				t.Errorf("%s: observable %q has no model reference (refs %v)", st.Name(), e.Name, refs)
+			}
+		}
+	}
+}
+
+// TestCrossCheckAgrees runs the generic equivalence path for every
+// discipline and asserts every estimate lands within a generous statistical
+// tolerance of its exact reference — the in-package version of the oracle
+// discipline the harnesses apply grid-wide.
+func TestCrossCheckAgrees(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every discipline's simulator")
+	}
+	w := testWorkload()
+	for _, st := range All() {
+		rec := NewRecorder(w.Name)
+		if err := CrossCheck(st, w, rec); err != nil {
+			t.Fatalf("%s: %v", st.Name(), err)
+		}
+		for _, m := range rec.Measurements() {
+			wf := m.W
+			switch m.Kind {
+			case KindBinomZ:
+				se := math.Sqrt(m.Ref * (1 - m.Ref) / float64(wf.N()))
+				if se == 0 {
+					continue
+				}
+				if z := math.Abs(wf.Mean()-m.Ref) / se; z > 5 {
+					t.Errorf("%s/%s: |z| = %.2f (ref %v, est %v)", st.Name(), m.Name, z, m.Ref, wf.Mean())
+				}
+			default:
+				z, err := wf.ZScoreAgainst(m.Ref)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", st.Name(), m.Name, err)
+				}
+				if math.Abs(z) > 5 {
+					t.Errorf("%s/%s: |z| = %.2f (ref %v, est %v)", st.Name(), m.Name, math.Abs(z), m.Ref, wf.Mean())
+				}
+			}
+		}
+	}
+}
+
+// TestPriceDecomposition: for every discipline the overhead rate must equal
+// its three components, and the deadline sentinel must clear when a deadline
+// is set.
+func TestPriceDecomposition(t *testing.T) {
+	w := testWorkload()
+	for _, st := range All() {
+		m, err := st.Price(w)
+		if err != nil {
+			t.Fatalf("%s.Price: %v", st.Name(), err)
+		}
+		if m.Strategy != st.Name() {
+			t.Errorf("%s priced as %q", st.Name(), m.Strategy)
+		}
+		sum := m.CheckpointRate + m.SyncLossRate + m.RollbackRate
+		if math.Abs(m.OverheadRate-sum) > 1e-12 {
+			t.Errorf("%s: overhead %v != components %v", st.Name(), m.OverheadRate, sum)
+		}
+		if m.DeadlineMissProb < 0 || m.DeadlineMissProb > 1 {
+			t.Errorf("%s: deadline-miss %v outside [0,1] with a deadline set", st.Name(), m.DeadlineMissProb)
+		}
+	}
+}
+
+// TestRecorderStampsAndDerivesDOF pins the Recorder contract the harnesses
+// rely on: scenario stamping, append order, batch-t degrees of freedom.
+func TestRecorderStampsAndDerivesDOF(t *testing.T) {
+	rec := NewRecorder("cell")
+	var w stats.Welford
+	for i := 0; i < 8; i++ {
+		w.Add(float64(i))
+	}
+	rec.Add("a", KindZ, 1, w)
+	rec.Add("b", KindBatchT, 2, w)
+	rec.AddNumeric("c", 3, 3)
+	rec.AddTwoSample("d", w, w)
+	ms := rec.Measurements()
+	if len(ms) != 4 || ms[0].Name != "a" || ms[3].Name != "d" {
+		t.Fatalf("append order lost: %+v", ms)
+	}
+	for _, m := range ms {
+		if m.Scenario != "cell" {
+			t.Errorf("measurement %q not stamped: %q", m.Name, m.Scenario)
+		}
+	}
+	if ms[1].DOF != 7 {
+		t.Errorf("batch-t DOF = %d, want 7", ms[1].DOF)
+	}
+	if ms[0].DOF != 0 {
+		t.Errorf("z-test DOF = %d, want 0", ms[0].DOF)
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	w := testWorkload()
+	if !w.HasInteractions() {
+		t.Error("interacting workload reported none")
+	}
+	if w.UniformRates() {
+		t.Error("asymmetric rates reported uniform")
+	}
+	if l, ok := w.UniformLambda(); !ok || l != 1 {
+		t.Errorf("UniformLambda = %v, %v", l, ok)
+	}
+	w.Lambda[0][1] = 2
+	if _, ok := w.UniformLambda(); ok {
+		t.Error("non-uniform matrix reported uniform")
+	}
+	if got := (Workload{Mu: []float64{1}, Lambda: [][]float64{{0}}}).HasInteractions(); got {
+		t.Error("single process reported interactions")
+	}
+	if (Workload{EveryK: 0}).ResolveEveryK() != DefaultEveryK {
+		t.Error("EveryK default not applied")
+	}
+	if (Workload{EveryK: 3}).ResolveEveryK() != 3 {
+		t.Error("explicit EveryK overridden")
+	}
+}

@@ -1,0 +1,153 @@
+package strategy
+
+import (
+	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/sim"
+	"recoveryblocks/internal/synch"
+)
+
+// syncStrategy is Section 3: synchronized recovery blocks. A synchronization
+// request fires τ after the previous recovery line (the validated
+// elapsed-since-line discipline); every process then runs to its next
+// acceptance test (Exp(μ_i) residual) and waits for the slowest, paying the
+// commitment wait CL = Σ(Z − y_i) in exchange for a guaranteed recovery line.
+type syncStrategy struct{}
+
+func (syncStrategy) Name() Name { return Sync }
+
+func (syncStrategy) Describe() string {
+	return "synchronized recovery blocks (Section 3): conversations at test lines every interval tau; commitment waits CL = n*E[Z] - sum(1/mu) buy guaranteed recovery lines"
+}
+
+func (syncStrategy) Validate(w Workload) error { return validateRates(w.Mu) }
+
+// Price: synch.OverheadRate prices the commitment waits and mid-cycle
+// rollback at the resolved request interval τ (or the optimal τ from
+// synch.OptimalInterval); checkpointing adds the τ·Σμ asynchronous saves plus
+// the n commitment states per cycle of length τ+E[Z]. Deadline risk is the
+// probability a cycle outlives the deadline, P(τ+Z > d).
+func (syncStrategy) Price(w Workload) (Metrics, error) {
+	tau, err := w.ResolveSyncInterval()
+	if err != nil {
+		return Metrics{}, err
+	}
+	ez, err := synch.MeanMax(w.Mu)
+	if err != nil {
+		return Metrics{}, err
+	}
+	cl, err := synch.MeanLoss(w.Mu)
+	if err != nil {
+		return Metrics{}, err
+	}
+	// OverheadRate = [CL + θ·cycle·n·τ/2]/(n·cycle): commitment waits plus
+	// mid-cycle rollback (an error discards on average τ/2 per process).
+	base, err := synch.OverheadRate(w.Mu, tau, w.ErrorRate)
+	if err != nil {
+		return Metrics{}, err
+	}
+	n := float64(w.N())
+	cycle := tau + ez
+	syncLoss := cl / (n * cycle)
+	sumMu := w.SumMu()
+	m := Metrics{
+		Strategy: Sync,
+		// τ·Σμ asynchronous saves plus n commitment states, per cycle.
+		CheckpointRate:   w.CheckpointCost * (tau*sumMu + n) / (n * cycle),
+		SyncLossRate:     syncLoss,
+		RollbackRate:     base - syncLoss,
+		MeanRollback:     tau / 2,
+		DeadlineMissProb: -1,
+		SyncInterval:     tau,
+	}
+	if w.Deadline > 0 {
+		if w.Deadline <= tau {
+			m.DeadlineMissProb = 1
+		} else {
+			m.DeadlineMissProb = 1 - dist.MaxExpCDF(w.Mu, w.Deadline-tau)
+		}
+	}
+	m.OverheadRate = m.CheckpointRate + m.SyncLossRate + m.RollbackRate
+	return m, nil
+}
+
+// Model: under the elapsed-since-line strategy the request fires exactly τ
+// after each line, so the protocol simulator's loss, cycle length and
+// saved-state count have closed-form references (E[CL], τ+E[Z], τ·Σμ).
+func (syncStrategy) Model(w Workload) (References, error) {
+	ez, err := synch.MeanMax(w.Mu)
+	if err != nil {
+		return nil, err
+	}
+	cl, err := synch.MeanLoss(w.Mu)
+	if err != nil {
+		return nil, err
+	}
+	tau := w.SyncInterval
+	return References{
+		"sync.meanCL": cl,
+		"sync.cycle":  tau + ez,
+		"sync.saved":  tau * w.SumMu(),
+	}, nil
+}
+
+// Simulate runs the full Section 3 protocol simulator at the resolved
+// request interval.
+func (syncStrategy) Simulate(w Workload) ([]Measurement, error) {
+	ss, err := sim.SimulateSync(w.Mu, sim.SyncOptions{
+		Strategy:  sim.SyncElapsedSinceLine,
+		Threshold: w.SyncInterval,
+		Cycles:    w.Reps,
+		Seed:      w.Seed + seedOffScenarioSync,
+		Workers:   w.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return []Measurement{
+		{Name: "sync.meanCL", Kind: KindZ, W: ss.Loss},
+		{Name: "sync.cycle", Kind: KindZ, W: ss.CycleLength},
+		{Name: "sync.saved", Kind: KindZ, W: ss.StatesSaved},
+	}, nil
+}
+
+// XValChecks cross-validates the Section 3 closed forms (E[Z] by
+// inclusion–exclusion, E[CL]) against both Monte Carlo routes: the direct
+// sampler in package synch and the full protocol simulator SimulateSync
+// (whose cycle length and saved-state count have their own exact values
+// under the elapsed-since-line strategy). The family applies to every cell —
+// synchronization needs no interactions.
+func (syncStrategy) XValChecks(w Workload, rec *Recorder) error {
+	ez, err := synch.MeanMax(w.Mu)
+	if err != nil {
+		return err
+	}
+	cl, err := synch.MeanLoss(w.Mu)
+	if err != nil {
+		return err
+	}
+
+	loss, z, err := synch.SimulateLossWorkers(w.Mu, w.Reps, w.Seed+seedOffXValSynch, w.Workers)
+	if err != nil {
+		return err
+	}
+	rec.Add("synch.meanZ", KindZ, ez, z)
+	rec.Add("synch.meanCL", KindZ, cl, loss)
+
+	tau := w.SyncInterval
+	ss, err := sim.SimulateSync(w.Mu, sim.SyncOptions{
+		Strategy:  sim.SyncElapsedSinceLine,
+		Threshold: tau,
+		Cycles:    w.Reps,
+		Seed:      w.Seed + seedOffXValSyncSim,
+		Workers:   w.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	// Under elapsed-since-line the request fires exactly τ after each line,
+	// so the cycle is τ + Z and the states saved are Poisson(τ·Σμ).
+	rec.Add("syncsim.meanCL", KindZ, cl, ss.Loss)
+	rec.Add("syncsim.cycle", KindZ, tau+ez, ss.CycleLength)
+	rec.Add("syncsim.saved", KindZ, tau*w.SumMu(), ss.StatesSaved)
+	return nil
+}

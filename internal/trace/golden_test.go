@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRenderGolden pins the full history diagram byte for byte — the golden
+// path every experiment trace (Figures 1, 7, 8) renders through — across
+// every event kind, both arrow directions, and the free-form fallback for an
+// unknown kind.
+func TestRenderGolden(t *testing.T) {
+	d := &Diagram{N: 3, Events: []Event{
+		{Time: 1, Proc: 0, Kind: EvRP, Label: "RP1"},
+		{Time: 2, Proc: 1, Kind: EvPRP, Label: "RP1"},
+		{Time: 3, Proc: 0, Kind: EvSend, Peer: 2, Label: "m1"},
+		{Time: 4, Proc: 2, Kind: EvRecv, Peer: 0, Label: "m1"},
+		{Time: 5, Proc: 1, Kind: EvConversation, Label: "TL1"},
+		{Time: 6, Proc: 2, Kind: EvFault, Label: "injected"},
+		{Time: 7, Proc: 2, Kind: EvATFail, Label: "AT3"},
+		{Time: 8, Proc: 2, Kind: EvRollback, Label: "PRP(RP1)"},
+		{Time: 9, Proc: 1, Kind: Kind(99), Label: "free-form"},
+	}}
+	want := "time   P1     P2     P3     event\n" +
+		"--------------------------  ----------------------------------------\n" +
+		"   1   [O]     |      |     P1 establishes RP RP1\n" +
+		"   2    |     [#]     |     P2 implants PRP (anchor RP1)\n" +
+		"   3    s    -----    |     P1 --> P3  m1\n" +
+		"   4    |    -----    r     P3 <-- P1  m1\n" +
+		"   5    |     [=]     |     P2 commits test line TL1 (recovery line)\n" +
+		"   6    |      |      !     P3 detects error (injected)\n" +
+		"   7    |      |      X     P3 FAILS acceptance test AT3\n" +
+		"   8    |      |      ^     P3 rolls back to PRP(RP1)\n" +
+		"   9    |      ?      |     free-form\n"
+	if got := d.Render(); got != want {
+		t.Fatalf("render drifted.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestDescribeEveryKind: each kind must name its process; the fallback
+// returns the label verbatim.
+func TestDescribeEveryKind(t *testing.T) {
+	for _, k := range []Kind{EvRP, EvPRP, EvConversation, EvSend, EvRecv, EvATFail, EvRollback, EvFault} {
+		e := Event{Proc: 4, Peer: 0, Kind: k, Label: "L"}
+		if !strings.Contains(e.describe(), "P5") {
+			t.Errorf("kind %v describe = %q, want P5 mentioned", k, e.describe())
+		}
+	}
+	if got := (Event{Kind: Kind(42), Label: "raw"}).describe(); got != "raw" {
+		t.Errorf("unknown-kind describe = %q, want the label verbatim", got)
+	}
+	if got := (Event{Kind: Kind(42)}).symbol(); got != " ? " {
+		t.Errorf("unknown-kind symbol = %q", got)
+	}
+}
+
+// TestRenderSingleProcess: a one-column diagram renders without arrow
+// bridging (there is no 'between' column) and keeps the annotation.
+func TestRenderSingleProcess(t *testing.T) {
+	d := &Diagram{N: 1, Events: []Event{
+		{Time: 1, Proc: 0, Kind: EvRP, Label: "RP1"},
+		{Time: 2, Proc: 0, Kind: EvATFail, Label: "AT1"},
+	}}
+	out := d.Render()
+	if !strings.Contains(out, "[O]") || !strings.Contains(out, "P1 FAILS acceptance test AT1") {
+		t.Fatalf("single-process render broken:\n%s", out)
+	}
+	if bridged(out) {
+		t.Fatalf("single-process render grew an arrow body:\n%s", out)
+	}
+}
+
+// bridged reports whether any event row (past the two header lines) carries
+// an arrow-body cell.
+func bridged(out string) bool {
+	lines := strings.Split(out, "\n")
+	for i, line := range lines {
+		if i >= 2 && strings.Contains(line, "-----") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestRenderAdjacentSendHasNoBridge: an arrow between adjacent columns has
+// no strictly-between column to bridge, so no '-----' cell may appear.
+func TestRenderAdjacentSendHasNoBridge(t *testing.T) {
+	d := &Diagram{N: 3, Events: []Event{
+		{Time: 1, Proc: 0, Kind: EvSend, Peer: 1, Label: "m"},
+	}}
+	if out := d.Render(); bridged(out) {
+		t.Fatalf("adjacent send bridged a column:\n%s", out)
+	}
+}
+
+// TestLegendMentionsEveryRenderedSymbol: the legend must explain each marker
+// Render can emit (the '?' fallback is deliberately undocumented).
+func TestLegendMentionsEveryRenderedSymbol(t *testing.T) {
+	l := Legend()
+	for _, s := range []string{"[O]", "[#]", "[=]", "s", "r", "X", "!", "^"} {
+		if !strings.Contains(l, s) {
+			t.Errorf("legend missing %q", s)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package xval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryKGridPasses is the sync-every-k acceptance proof at harness
+// level: every {sync-every-k, cell} pair of its dedicated grid must agree
+// with the Erlang-max model, the k = 1 cell must carry the exact degeneracy
+// routes to the Section 3 closed forms, and — because the legacy trio's
+// families also apply to the cells — the pooled report must stay clean.
+func TestEveryKGridPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sync-every-k Monte Carlo grid")
+	}
+	rep, err := Run(EveryKGrid(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		for _, c := range rep.Failed() {
+			t.Errorf("FAIL %s/%s: ref %v vs est %v (stat %v, crit %v)",
+				c.Scenario, c.Name, c.Ref, c.Est, c.Stat, c.Crit)
+		}
+		t.Fatalf("%d disagreement(s) on the sync-every-k grid", rep.Failures)
+	}
+	everyk, numeric := 0, 0
+	for _, c := range rep.Checks {
+		if strings.HasPrefix(c.Name, "everyk.") {
+			everyk++
+			if c.Kind == KindNumeric {
+				numeric++
+			}
+		}
+	}
+	// 3 cells × 4 statistical observables + 2 numeric degeneracy routes.
+	if everyk != 14 {
+		t.Fatalf("sync-every-k checks = %d, want 14", everyk)
+	}
+	if numeric != 2 {
+		t.Fatalf("k=1 degeneracy routes = %d, want 2", numeric)
+	}
+}
+
+// TestEveryKGridWorkerInvariance pins the determinism contract on the new
+// {strategy, cell} path: the full report is bit-identical for every worker
+// count.
+func TestEveryKGridWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the sync-every-k grid twice")
+	}
+	a, err := Run(EveryKGrid(), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(EveryKGrid(), Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Format() != b.Format() {
+		t.Fatal("sync-every-k grid report differs between Workers=1 and Workers=4")
+	}
+}
+
+// TestStrategyFilterRestrictsChecks: Options.Strategies (the CLI's
+// -strategy flag) must keep exactly the named discipline's rows and reject
+// unknown names.
+func TestStrategyFilterRestrictsChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs grid cells")
+	}
+	grid := []Scenario{ShortGrid()[0]}
+	rep, err := Run(grid, Options{Strategies: []string{"sync"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Checks) == 0 {
+		t.Fatal("sync filter produced no checks")
+	}
+	for _, c := range rep.Checks {
+		if !strings.HasPrefix(c.Name, "synch.") && !strings.HasPrefix(c.Name, "syncsim.") {
+			t.Fatalf("sync-filtered report carries %q", c.Name)
+		}
+	}
+	if _, err := Run(grid, Options{Strategies: []string{"bogus"}}); err == nil {
+		t.Fatal("unknown -strategy name accepted")
+	}
+
+	// The filtered rows must be the same rows the full run produces — the
+	// filter selects, never re-seeds.
+	full, err := Run(grid, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Check{}
+	for _, c := range full.Checks {
+		byName[c.Scenario+"/"+c.Name] = c
+	}
+	for _, c := range rep.Checks {
+		f, ok := byName[c.Scenario+"/"+c.Name]
+		if !ok {
+			t.Fatalf("filtered check %s/%s missing from the full run", c.Scenario, c.Name)
+		}
+		if f.Est != c.Est || f.Ref != c.Ref {
+			t.Fatalf("filtered check %s/%s drifted: est %v vs %v", c.Scenario, c.Name, c.Est, f.Est)
+		}
+	}
+}

@@ -37,6 +37,38 @@ func ShortGrid() []Scenario {
 	}
 }
 
+// EveryKGrid is the sync-every-k equivalence proof: cells that opt into the
+// discipline's check family (simulated E[Z_k], E[CL_k], cycle length and
+// saved states against the Erlang-max integral model) across the k axis,
+// including the k = 1 cell whose exact routes must degenerate to the
+// Section 3 closed forms. λ = 0 keeps the cells focused on the
+// synchronization families; the legacy grids stay untouched (their cells
+// carry no every_k, so the discipline records nothing there and their
+// goldens are preserved). Run by `go test ./internal/xval` and by
+// `rbrepro xval -strategy sync-every-k`.
+func EveryKGrid() []Scenario {
+	return []Scenario{
+		{
+			// Degeneracy cell: k = 1 must reproduce the paper's synchronized
+			// organization (numeric checks against synch.MeanMax/MeanLoss).
+			Name: "everyk-n3-k1", Mu: []float64{1, 1, 1},
+			SyncThreshold: 1, EveryK: 1, Reps: 6000, Seed: 3083,
+		},
+		{
+			// The default period on asymmetric rates: the straggler's
+			// Erlang(2) phase dominates Z_k.
+			Name: "everyk-n3-asym-k2", Mu: []float64{1.5, 1.0, 0.5},
+			SyncThreshold: 2, EveryK: 2, Reps: 6000, Seed: 3183,
+		},
+		{
+			// A long period at larger n: the amortization regime the
+			// EXPERIMENTS.md appendix prices.
+			Name: "everyk-n5-k4", Mu: []float64{1, 1, 1, 1, 1},
+			SyncThreshold: 1, EveryK: 4, Reps: 6000, Seed: 3283,
+		},
+	}
+}
+
 // FullGrid is the thorough sweep run by `rbrepro xval` (without -quick):
 // larger replication budgets for tight intervals, more points along every
 // axis. Runtime is dominated by the Monte Carlo budgets and parallelizes

@@ -8,76 +8,89 @@ import (
 	"text/tabwriter"
 
 	"recoveryblocks/internal/stats"
+	"recoveryblocks/internal/strategy"
 )
 
-// CheckKind labels how a comparison is judged.
-type CheckKind string
+// CheckKind labels how a comparison is judged. The kinds are defined by the
+// strategy layer (each discipline's XValChecks declares which test its
+// estimators support); this package applies the grid-wide judging policy.
+type CheckKind = strategy.CheckKind
 
 const (
 	// KindZ is a one-sample z-test of a Monte Carlo mean against an exact
 	// model value; the tolerance is crit × (the estimator's standard error).
-	KindZ CheckKind = "z"
+	KindZ = strategy.KindZ
 	// KindTwoSampleZ compares two independent Monte Carlo means (both sides
 	// carry sampling error).
-	KindTwoSampleZ CheckKind = "two-sample-z"
+	KindTwoSampleZ = strategy.KindTwoSampleZ
 	// KindBatchT is a one-sample t-test over independent replicate (batch)
 	// means — used where within-run samples are autocorrelated, so the
 	// standard error must come from iid batches and the small batch count
 	// calls for a Student-t critical value.
-	KindBatchT CheckKind = "batch-t"
+	KindBatchT = strategy.KindBatchT
+	// KindBinomZ is a score test for a Bernoulli proportion: the standard
+	// error comes from the model probability, √(p(1−p)/n), so rare events
+	// with an all-zero indicator sample are judged against H0's own
+	// variance instead of failing as degenerate.
+	KindBinomZ = strategy.KindBinomZ
 	// KindNumeric compares two exact solver routes to the same quantity with
 	// a relative round-off tolerance.
-	KindNumeric CheckKind = "numeric"
+	KindNumeric = strategy.KindNumeric
 )
 
-// measurement is one raw comparison before grid-wide judging. Statistical
-// kinds carry the Welford accumulators themselves, so judging runs on the
-// equivalence-test API of internal/stats rather than re-deriving moments.
-type measurement struct {
-	scenario, name string
-	kind           CheckKind
-	ref            float64        // exact reference value (one-sample kinds)
-	refW           *stats.Welford // reference estimate (KindTwoSampleZ)
-	w              stats.Welford  // the estimate under test
-	est            float64        // second exact route (KindNumeric)
-	dof            int            // batch-means degrees of freedom (KindBatchT)
-}
-
-// judge converts a measurement into a reported Check at the given critical
-// value (statistical kinds) or relative tolerance (numeric kind).
-func (m measurement) judge(crit, relTol float64) Check {
+// judgeMeasurement converts a raw strategy-layer measurement (the registry's
+// XValChecks output) into a reported Check at the given critical value
+// (statistical kinds) or relative tolerance (numeric kind). It judges every
+// kind of the strategy.Measurement contract.
+func judgeMeasurement(m strategy.Measurement, crit, relTol float64) Check {
 	c := Check{
-		Scenario: m.scenario,
-		Name:     m.name,
-		Kind:     m.kind,
-		Ref:      m.ref,
-		DOF:      m.dof,
+		Scenario: m.Scenario,
+		Name:     m.Name,
+		Kind:     m.Kind,
+		Ref:      m.Ref,
+		DOF:      m.DOF,
 	}
-	if m.kind == KindNumeric {
-		c.Est = m.est
+	if m.Kind == KindNumeric {
+		c.Est = m.Est
 		c.Crit = relTol
-		c.Stat = relDiff(m.ref, m.est)
+		c.Stat = relDiff(m.Ref, m.Est)
 		c.Pass = c.Stat <= relTol
 		c.Overlap = c.Pass
 		return c
 	}
-	w := m.w
+	w := m.W
 	c.Est = w.Mean()
 	c.N = w.N()
 	c.Crit = crit
+	if m.Kind == KindBinomZ {
+		// Score test under H0's own variance (see the kind comment).
+		c.SE = math.Sqrt(m.Ref * (1 - m.Ref) / float64(w.N()))
+		c.CIHalf = crit * c.SE
+		if c.SE == 0 {
+			// Ref is exactly 0 or 1: under H0 the estimate must match it.
+			c.Stat = -1
+			c.Pass = c.Est == c.Ref
+			c.Overlap = c.Pass
+			return c
+		}
+		c.Stat = math.Abs((c.Est - m.Ref) / c.SE)
+		c.Pass = c.Stat <= crit
+		c.Overlap = c.Pass
+		return c
+	}
 	var z float64
 	var zerr error
 	var refHalf float64
-	if m.kind == KindTwoSampleZ {
-		c.Ref = m.refW.Mean()
-		refHalf = m.refW.CIHalf(crit)
-		refSE := m.refW.StdErr()
+	if m.Kind == KindTwoSampleZ {
+		c.Ref = m.RefW.Mean()
+		refHalf = m.RefW.CIHalf(crit)
+		refSE := m.RefW.StdErr()
 		estSE := w.StdErr()
 		c.SE = math.Sqrt(refSE*refSE + estSE*estSE)
-		z, zerr = stats.TwoSampleZ(&w, m.refW)
+		z, zerr = stats.TwoSampleZ(&w, m.RefW)
 	} else {
 		c.SE = w.StdErr()
-		z, zerr = w.ZScoreAgainst(m.ref)
+		z, zerr = w.ZScoreAgainst(m.Ref)
 	}
 	c.CIHalf = crit * c.SE
 	if zerr != nil {

@@ -6,19 +6,15 @@
 // behavior of concurrent processes under rollback. This repository implements
 // both sides independently — absorbing-chain solves and closed forms on one
 // side, discrete-event simulation on the other — so each is an oracle for the
-// other. xval runs every such pair over a declarative scenario grid and
-// asserts agreement:
-//
-//   - AsyncModel (the 2^n+1-state chain) vs SimulateAsync: E[X], every
-//     E[L_i], and the deadline-miss probability P(X > d);
-//   - SymmetricModel (the lumped chain) vs AsyncModel: exact-vs-exact;
-//   - SplitChain Y_d vs the simulator's saved-state estimator, and vs the
-//     Wald identity E[L_i] = μ_i·E[X]: one statistical, one exact;
-//   - the Section 3 closed forms (E[Z], E[CL]) vs synch's Monte Carlo and vs
-//     the full SimulateSync protocol simulator (cycle length, states saved);
-//   - the Section 4 stationary identities vs SimulatePRP: propagated-error
-//     rollback distance = E[max_i Exp(μ_i)], local distance = avg 1/μ_i,
-//     asynchronous rollback distance = the renewal age E[X²]/(2·E[X]).
+// other. The check families themselves live with the recovery disciplines in
+// the strategy registry (internal/strategy): each registered strategy brings
+// its own XValChecks — the async family (full chain, split chains, lumped
+// model, deadline risk, self-consistency), the PRP stationary identities, the
+// Section 3 closed forms against both Monte Carlo routes, and the
+// sync-every-k Erlang generalization. This harness turns grid cells into
+// {strategy, parameters} pairs: it sweeps every registered discipline over
+// every cell (each discipline skips cells outside its applicability) and
+// judges the pooled measurements with one family-wise policy.
 //
 // Tolerances are principled, never hand-tuned: every statistical comparison
 // is a z-test whose critical value derives from a family-wise error rate
@@ -29,23 +25,26 @@
 //
 // The harness is exposed three ways: the go test suite in this package runs
 // ShortGrid deterministically, `rbrepro xval` sweeps a grid from the command
-// line and exits non-zero on any disagreement, and golden files under
-// testdata/ pin the full fixed-seed report against silent drift.
+// line (optionally restricted with -strategy) and exits non-zero on any
+// disagreement, and golden files under testdata/ pin the full fixed-seed
+// report against silent drift.
 package xval
 
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"recoveryblocks/internal/mc"
 	"recoveryblocks/internal/rbmodel"
-	"recoveryblocks/internal/sim"
 	"recoveryblocks/internal/stats"
-	"recoveryblocks/internal/synch"
+	"recoveryblocks/internal/strategy"
 )
 
 // Scenario is one cell of the cross-validation grid: a parameterization of
-// the paper's process model plus the Monte Carlo effort to spend on it.
+// the paper's process model plus the Monte Carlo effort to spend on it. Each
+// registered strategy crosses the cell with its own check family, so the
+// grid effectively enumerates {strategy, parameters} pairs.
 type Scenario struct {
 	Name string `json:"name"`
 	// Mu holds the per-process recovery-point rates μ_i (length n ≥ 1).
@@ -58,6 +57,10 @@ type Scenario struct {
 	SyncThreshold float64 `json:"sync_threshold"`
 	// Deadline enables the P(X > d) deadline-variant check when positive.
 	Deadline float64 `json:"deadline"`
+	// EveryK opts the cell into the sync-every-k family at block period k;
+	// 0 (the legacy grids) records no sync-every-k checks, keeping their
+	// goldens untouched.
+	EveryK int `json:"every_k,omitempty"`
 	// Reps is the replication budget for every estimator in the scenario
 	// (recovery-line intervals, synchronizations, cycles, probes).
 	Reps int `json:"reps"`
@@ -82,6 +85,9 @@ func (sc Scenario) validate() error {
 	if sc.Lambda < 0 || math.IsNaN(sc.Lambda) || math.IsInf(sc.Lambda, 0) {
 		return fmt.Errorf("xval: scenario %q: λ = %v must be nonnegative and finite", sc.Name, sc.Lambda)
 	}
+	if sc.EveryK < 0 || sc.EveryK > strategy.MaxEveryK {
+		return fmt.Errorf("xval: scenario %q: every_k = %d must be in [0, %d]", sc.Name, sc.EveryK, strategy.MaxEveryK)
+	}
 	if sc.Reps < 2 {
 		return fmt.Errorf("xval: scenario %q: Reps = %d must be ≥ 2", sc.Name, sc.Reps)
 	}
@@ -92,19 +98,31 @@ func (sc Scenario) validate() error {
 	return nil
 }
 
-// params assembles the rbmodel parameterization: scenario μ vector, uniform λ.
-func (sc Scenario) params() rbmodel.Params {
+// Workload converts the cell into the strategy layer's evaluation workload:
+// uniform λ expanded to the full matrix, the synchronization-interval
+// default applied, and the given per-estimator worker budget.
+func (sc Scenario) Workload(workers int) strategy.Workload {
 	n := len(sc.Mu)
-	p := rbmodel.Params{Mu: append([]float64(nil), sc.Mu...), Lambda: make([][]float64, n)}
+	lambda := make([][]float64, n)
 	for i := 0; i < n; i++ {
-		p.Lambda[i] = make([]float64, n)
+		lambda[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
 			if i != j {
-				p.Lambda[i][j] = sc.Lambda
+				lambda[i][j] = sc.Lambda
 			}
 		}
 	}
-	return p
+	return strategy.Workload{
+		Name:         sc.Name,
+		Mu:           append([]float64(nil), sc.Mu...),
+		Lambda:       lambda,
+		SyncInterval: sc.syncThreshold(),
+		EveryK:       sc.EveryK,
+		Deadline:     sc.Deadline,
+		Reps:         sc.Reps,
+		Seed:         sc.Seed,
+		Workers:      workers,
+	}
 }
 
 // syncThreshold resolves the synchronization-interval default.
@@ -129,6 +147,9 @@ type Options struct {
 	// Workers sets the Monte Carlo worker-pool size (0 = all CPUs). Results
 	// are bit-identical for every value — see internal/mc.
 	Workers int
+	// Strategies restricts the run to the named registered disciplines
+	// (the CLI's -strategy flag); empty means all of them.
+	Strategies []string
 }
 
 func (o Options) withDefaults() Options {
@@ -141,34 +162,22 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Seed offsets separating the estimators of one scenario: each estimator
-// must draw from its own substream family or two checks would share
-// randomness and their errors would correlate.
-const (
-	seedOffAsync2  = 7919
-	seedOffSynch   = 104729
-	seedOffSyncSim = 224737
-	seedOffPRP     = 350377
-)
+// wants reports whether the options include the named discipline.
+func (o Options) wants(name strategy.Name) bool {
+	if len(o.Strategies) == 0 {
+		return true
+	}
+	for _, s := range o.Strategies {
+		if strategy.Name(s) == name {
+			return true
+		}
+	}
+	return false
+}
 
-// prpWarmup is the simulated time discarded before SimulatePRP probes. It
-// must dominate the relaxation time of the recovery-line renewal process;
-// the grids keep E[X] below a few time units, so 100 leaves the residual
-// startup bias orders of magnitude under the statistical resolution.
-const prpWarmup = 100
-
-// prpReplicates is the batch count for the PRP checks. Unlike every other
-// estimator in the grid (whose replications are iid by construction), PRP
-// probes sample a stationary process and are autocorrelated within a run, so
-// a per-probe standard error would be too small and the z-test would raise
-// false alarms. xval therefore runs independent replicates on disjoint
-// substream families and tests the replicate means — iid batch means — with
-// a Student-t critical value at prpReplicates−1 degrees of freedom.
-const prpReplicates = 24
-
-// Run executes every check of every scenario and judges the results at the
-// family-wise error rate of opt. The returned report carries one Check per
-// comparison; Report.Failures counts the disagreements.
+// Run executes every {strategy, cell} pair of the grid and judges the
+// results at the family-wise error rate of opt. The returned report carries
+// one Check per comparison; Report.Failures counts the disagreements.
 //
 // Scenarios fan out across the internal/mc worker pool, and the pool budget
 // splits between the two levels: each scenario's estimators keep
@@ -183,12 +192,17 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 			return nil, err
 		}
 	}
+	for _, s := range opt.Strategies {
+		if _, err := strategy.Parse(s); err != nil {
+			return nil, fmt.Errorf("xval: %w", err)
+		}
+	}
 	inner := opt
 	if len(scenarios) > 1 {
 		inner.Workers = max(1, mc.Workers(opt.Workers)/len(scenarios))
 	}
 	type out struct {
-		ms  []measurement
+		ms  []strategy.Measurement
 		err error
 	}
 	outs := mc.Map(scenarios, opt.Workers, func(_ int, sc Scenario) out {
@@ -198,7 +212,7 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 		}
 		return out{ms: scms}
 	})
-	var ms []measurement
+	var ms []strategy.Measurement
 	for _, o := range outs {
 		if o.err != nil {
 			return nil, o.err
@@ -207,7 +221,7 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 	}
 	k := 0
 	for _, m := range ms {
-		if m.kind != KindNumeric {
+		if m.Kind != KindNumeric {
 			k++
 		}
 	}
@@ -215,12 +229,12 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 	rep := &Report{Alpha: opt.Alpha, Crit: crit, RelTol: opt.RelTol, K: k}
 	for _, m := range ms {
 		mcrit := crit
-		if m.kind == KindBatchT && m.dof >= 1 {
+		if m.Kind == KindBatchT && m.DOF >= 1 {
 			// Batch-means checks estimate their SE from few batches: widen
 			// the normal critical value to the Student-t one at dof.
-			mcrit = stats.TCrit(opt.Alpha, max(k, 1), m.dof)
+			mcrit = stats.TCrit(opt.Alpha, max(k, 1), m.DOF)
 		}
-		c := m.judge(mcrit, opt.RelTol)
+		c := judgeMeasurement(m, mcrit, opt.RelTol)
 		if !c.Pass {
 			rep.Failures++
 		}
@@ -229,252 +243,44 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 	return rep, nil
 }
 
-// evaluate runs every estimator of one scenario and pairs it with its model
-// reference, returning raw measurements (judging happens grid-wide, because
-// the Bonferroni critical value depends on the total comparison count).
-func evaluate(sc Scenario, opt Options) ([]measurement, error) {
-	var ms []measurement
-	add := func(name string, kind CheckKind, ref float64, w stats.Welford) {
-		dof := 0
-		if kind == KindBatchT {
-			dof = w.N() - 1
+// evalOrder returns the registered strategies in this harness's historical
+// report order — the async family, then the PRP family, then the
+// synchronization family — so the fixed-seed goldens keep their row layout.
+// Disciplines outside that legacy trio follow in registration order. (The
+// ordering is purely presentational: every estimator draws from its own
+// substream family, so values are independent of evaluation order.)
+func evalOrder() []strategy.Strategy {
+	rank := func(n strategy.Name) int {
+		switch n {
+		case strategy.Async:
+			return 0
+		case strategy.PRP:
+			return 1
+		case strategy.Sync:
+			return 2
 		}
-		ms = append(ms, measurement{
-			scenario: sc.Name, name: name, kind: kind, ref: ref, w: w, dof: dof,
-		})
+		return 3
 	}
-	addTwo := func(name string, refW, w stats.Welford) {
-		ms = append(ms, measurement{
-			scenario: sc.Name, name: name, kind: KindTwoSampleZ, refW: &refW, w: w,
-		})
-	}
-	addNumeric := func(name string, ref, est float64) {
-		ms = append(ms, measurement{
-			scenario: sc.Name, name: name, kind: KindNumeric, ref: ref, est: est,
-		})
-	}
+	all := strategy.All()
+	sort.SliceStable(all, func(i, j int) bool { return rank(all[i].Name()) < rank(all[j].Name()) })
+	return all
+}
 
-	n := len(sc.Mu)
-	if n >= 2 && sc.Lambda > 0 {
-		if err := evaluateAsyncFamily(sc, opt, add, addTwo, addNumeric); err != nil {
+// evaluate crosses one cell with every requested discipline's check family
+// and returns the raw measurements (judging happens grid-wide, because the
+// Bonferroni critical value depends on the total comparison count).
+func evaluate(sc Scenario, opt Options) ([]strategy.Measurement, error) {
+	w := sc.Workload(opt.Workers)
+	var ms []strategy.Measurement
+	for _, st := range evalOrder() {
+		if !opt.wants(st.Name()) {
+			continue
+		}
+		rec := strategy.NewRecorder(sc.Name)
+		if err := st.XValChecks(w, rec); err != nil {
 			return nil, err
 		}
-		if err := evaluatePRPFamily(sc, opt, add); err != nil {
-			return nil, err
-		}
-	}
-	if err := evaluateSynchFamily(sc, opt, add); err != nil {
-		return nil, err
+		ms = append(ms, rec.Measurements()...)
 	}
 	return ms, nil
-}
-
-type addFn func(name string, kind CheckKind, ref float64, w stats.Welford)
-type addTwoFn func(name string, refW, w stats.Welford)
-type addNumericFn func(name string, ref, est float64)
-
-// evaluateAsyncFamily cross-validates the Section 2 models against
-// SimulateAsync: the full chain's E[X] and E[L_i], the split chain's E[L_i]
-// (both against the simulator and against the Wald identity), the lumped
-// symmetric chain (uniform μ only), the deadline-miss probability, and a
-// two-sample self-consistency check between disjoint simulator seeds.
-func evaluateAsyncFamily(sc Scenario, opt Options, add addFn, addTwo addTwoFn, addNumeric addNumericFn) error {
-	p := sc.params()
-	model, err := rbmodel.NewAsync(p)
-	if err != nil {
-		return err
-	}
-	exactX, err := model.MeanX()
-	if err != nil {
-		return err
-	}
-	wald, err := model.MeanLWald()
-	if err != nil {
-		return err
-	}
-
-	sr, err := sim.SimulateAsync(p, sim.AsyncOptions{
-		Intervals:   sc.Reps,
-		Seed:        sc.Seed,
-		KeepSamples: sc.Deadline > 0,
-		Workers:     opt.Workers,
-	})
-	if err != nil {
-		return err
-	}
-	add("async.meanX", KindZ, exactX, sr.X)
-	for i := range p.Mu {
-		add(fmt.Sprintf("async.meanL[%d]", i), KindZ, wald[i], sr.L[i])
-	}
-
-	for i := range p.Mu {
-		split, err := rbmodel.NewSplitChain(p, i)
-		if err != nil {
-			return err
-		}
-		l, err := split.MeanL()
-		if err != nil {
-			return err
-		}
-		add(fmt.Sprintf("split.meanL[%d].sim", i), KindZ, l, sr.L[i])
-		addNumeric(fmt.Sprintf("split.meanL[%d].wald", i), wald[i], l)
-	}
-
-	if uniform(sc.Mu) {
-		sym, err := rbmodel.NewSymmetric(len(sc.Mu), sc.Mu[0], sc.Lambda)
-		if err != nil {
-			return err
-		}
-		symX, err := sym.MeanX()
-		if err != nil {
-			return err
-		}
-		addNumeric("symmetric.meanX", exactX, symX)
-	}
-
-	if sc.Deadline > 0 {
-		miss, err := model.DeadlineMissProb(sc.Deadline)
-		if err != nil {
-			return err
-		}
-		var ind stats.Welford
-		for _, x := range sr.Samples {
-			if x > sc.Deadline {
-				ind.Add(1)
-			} else {
-				ind.Add(0)
-			}
-		}
-		add("deadline.missProb", KindZ, miss, ind)
-	}
-
-	// Self-consistency: the same estimator on a disjoint substream family
-	// must agree with itself — a two-sample test, catching variance
-	// misreporting that the one-sample checks (which trust the SE) cannot.
-	sr2, err := sim.SimulateAsync(p, sim.AsyncOptions{
-		Intervals: sc.Reps,
-		Seed:      sc.Seed + seedOffAsync2,
-		Workers:   opt.Workers,
-	})
-	if err != nil {
-		return err
-	}
-	addTwo("async.selfX", sr2.X, sr.X)
-	return nil
-}
-
-// evaluateSynchFamily cross-validates the Section 3 closed forms (E[Z] by
-// inclusion–exclusion, E[CL]) against both Monte Carlo routes: the direct
-// sampler in package synch and the full protocol simulator SimulateSync
-// (whose cycle length and saved-state count have their own exact values
-// under the elapsed-since-line strategy).
-func evaluateSynchFamily(sc Scenario, opt Options, add addFn) error {
-	ez, err := synch.MeanMax(sc.Mu)
-	if err != nil {
-		return err
-	}
-	cl, err := synch.MeanLoss(sc.Mu)
-	if err != nil {
-		return err
-	}
-
-	loss, z, err := synch.SimulateLossWorkers(sc.Mu, sc.Reps, sc.Seed+seedOffSynch, opt.Workers)
-	if err != nil {
-		return err
-	}
-	add("synch.meanZ", KindZ, ez, z)
-	add("synch.meanCL", KindZ, cl, loss)
-
-	tau := sc.syncThreshold()
-	ss, err := sim.SimulateSync(sc.Mu, sim.SyncOptions{
-		Strategy:  sim.SyncElapsedSinceLine,
-		Threshold: tau,
-		Cycles:    sc.Reps,
-		Seed:      sc.Seed + seedOffSyncSim,
-		Workers:   opt.Workers,
-	})
-	if err != nil {
-		return err
-	}
-	sumMu := 0.0
-	for _, m := range sc.Mu {
-		sumMu += m
-	}
-	// Under elapsed-since-line the request fires exactly τ after each line,
-	// so the cycle is τ + Z and the states saved are Poisson(τ·Σμ).
-	add("syncsim.meanCL", KindZ, cl, ss.Loss)
-	add("syncsim.cycle", KindZ, tau+ez, ss.CycleLength)
-	add("syncsim.saved", KindZ, tau*sumMu, ss.StatesSaved)
-	return nil
-}
-
-// evaluatePRPFamily cross-validates the Section 4 simulator against the
-// stationary identities PASTA buys: Poisson-probed at equilibrium, the
-// propagated-error rollback distance is the max of the n independent
-// exponential RP ages (E[max Exp(μ_i)], the paper's bound met with
-// equality), the local distance is the age of the victim's own stream
-// (uniform victim: avg 1/μ_i), and the asynchronous rollback distance is the
-// age of the recovery-line renewal process (E[X²]/(2·E[X]) from the exact
-// chain's moments).
-//
-// PRP probes within one run are autocorrelated (they repeatedly observe the
-// same stationary process), so the run is split into prpReplicates
-// independent replicates on disjoint substream families and the test is a
-// batch-means t-test over the replicate means.
-func evaluatePRPFamily(sc Scenario, opt Options, add addFn) error {
-	p := sc.params()
-	per := sc.Reps / prpReplicates
-	if per < 1 {
-		per = 1
-	}
-	var local, propagated, async stats.Welford
-	for r := 0; r < prpReplicates; r++ {
-		sr, err := sim.SimulatePRP(p, sim.PRPOptions{
-			Probes:  per,
-			Seed:    sc.Seed + seedOffPRP + int64(r),
-			Warmup:  prpWarmup,
-			PLocal:  0.5,
-			Workers: opt.Workers,
-		})
-		if err != nil {
-			return err
-		}
-		local.Add(sr.LocalDistance.Mean())
-		propagated.Add(sr.PropagatedDistance.Mean())
-		async.Add(sr.AsyncDistance.Mean())
-	}
-
-	bound, err := synch.MeanMax(sc.Mu)
-	if err != nil {
-		return err
-	}
-	add("prp.propagated", KindBatchT, bound, propagated)
-
-	invMu := 0.0
-	for _, m := range sc.Mu {
-		invMu += 1 / m
-	}
-	invMu /= float64(len(sc.Mu))
-	add("prp.local", KindBatchT, invMu, local)
-
-	model, err := rbmodel.NewAsync(p)
-	if err != nil {
-		return err
-	}
-	m1, m2, err := model.MomentsX()
-	if err != nil {
-		return err
-	}
-	add("prp.asyncAge", KindBatchT, m2/(2*m1), async)
-	return nil
-}
-
-// uniform reports whether every rate equals the first.
-func uniform(mu []float64) bool {
-	for _, m := range mu[1:] {
-		if m != mu[0] {
-			return false
-		}
-	}
-	return true
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"recoveryblocks/internal/stats"
+	"recoveryblocks/internal/strategy"
 )
 
 // ones returns n unit rates (a valid μ vector of length n).
@@ -100,8 +101,8 @@ func welfordWith(mean, se float64) stats.Welford {
 func TestJudgeFlagsDisagreement(t *testing.T) {
 	// A simulated mean 10 standard errors away from the model must fail the
 	// z-test (and, at this distance, the CI-overlap check too).
-	m := measurement{scenario: "s", name: "c", kind: KindZ, ref: 1.0, w: welfordWith(1.1, 0.01)}
-	c := m.judge(4, 1e-9)
+	m := strategy.Measurement{Scenario: "s", Name: "c", Kind: KindZ, Ref: 1.0, W: welfordWith(1.1, 0.01)}
+	c := judgeMeasurement(m, 4, 1e-9)
 	if c.Pass || c.Overlap {
 		t.Fatalf("10-sigma discrepancy passed: %+v", c)
 	}
@@ -113,9 +114,9 @@ func TestJudgeFlagsDisagreement(t *testing.T) {
 	// intervals still overlap up to crit·2se = 0.04; a gap of 0.035 sits
 	// between the two bounds.
 	refW := welfordWith(1.0, 0.01)
-	m2 := measurement{scenario: "s", name: "c2", kind: KindTwoSampleZ,
-		refW: &refW, w: welfordWith(1.035, 0.01)}
-	c2 := m2.judge(2, 1e-9)
+	m2 := strategy.Measurement{Scenario: "s", Name: "c2", Kind: KindTwoSampleZ,
+		RefW: &refW, W: welfordWith(1.035, 0.01)}
+	c2 := judgeMeasurement(m2, 2, 1e-9)
 	if c2.Pass {
 		t.Fatal("3-sigma two-sample discrepancy passed the z-test at crit 2")
 	}
@@ -123,18 +124,18 @@ func TestJudgeFlagsDisagreement(t *testing.T) {
 		t.Fatal("CI-overlap should be coarser than the two-sample z here")
 	}
 	// Numeric route: a relative gap above tolerance fails.
-	m3 := measurement{scenario: "s", name: "c3", kind: KindNumeric, ref: 2.5, est: 2.5000001}
-	if c3 := m3.judge(4, 1e-9); c3.Pass {
+	m3 := strategy.Measurement{Scenario: "s", Name: "c3", Kind: KindNumeric, Ref: 2.5, Est: 2.5000001}
+	if c3 := judgeMeasurement(m3, 4, 1e-9); c3.Pass {
 		t.Fatal("numeric mismatch above rel tol passed")
 	}
-	if c3 := m3.judge(4, 1e-6); !c3.Pass {
+	if c3 := judgeMeasurement(m3, 4, 1e-6); !c3.Pass {
 		t.Fatal("numeric match within rel tol failed")
 	}
 }
 
 func TestDegenerateSamplesDoNotPoisonJSON(t *testing.T) {
-	m := measurement{scenario: "s", name: "flat", kind: KindZ, ref: 1, w: welfordWith(2, 0)}
-	c := m.judge(4, 1e-9)
+	m := strategy.Measurement{Scenario: "s", Name: "flat", Kind: KindZ, Ref: 1, W: welfordWith(2, 0)}
+	c := judgeMeasurement(m, 4, 1e-9)
 	if c.Pass {
 		t.Fatal("zero-spread mismatch passed")
 	}
@@ -250,5 +251,43 @@ func TestFormatMentionsVerdicts(t *testing.T) {
 	}
 	if rep.Failures == 0 && !strings.Contains(out, "agree") {
 		t.Error("passing report should say the pairs agree")
+	}
+}
+
+// TestJudgeBinomZScoreTest: the binom-z kind must be judged against H0's own
+// variance, so an all-zero indicator sample agrees with a tiny positive
+// model probability instead of failing as degenerate — the rare-event case
+// the kind exists for, now part of the shared strategy.Measurement contract.
+func TestJudgeBinomZScoreTest(t *testing.T) {
+	var zeros stats.Welford
+	for i := 0; i < 5000; i++ {
+		zeros.Add(0)
+	}
+	m := strategy.Measurement{Scenario: "s", Name: "rare", Kind: KindBinomZ, Ref: 1e-5, W: zeros}
+	c := judgeMeasurement(m, 4, 1e-9)
+	if !c.Pass {
+		t.Fatalf("all-zero sample vs tiny model probability failed the score test: %+v", c)
+	}
+	if c.Stat < 0 {
+		t.Fatalf("score test fell into the degenerate branch: %+v", c)
+	}
+	// And it still has teeth: a gross excess fails.
+	var often stats.Welford
+	for i := 0; i < 5000; i++ {
+		if i%10 == 0 {
+			often.Add(1)
+		} else {
+			often.Add(0)
+		}
+	}
+	m.W = often
+	if c := judgeMeasurement(m, 4, 1e-9); c.Pass {
+		t.Fatalf("10%% hit rate passed against a 1e-5 model probability: %+v", c)
+	}
+	// Ref exactly 0: only an exact match passes.
+	m.Ref = 0
+	m.W = zeros
+	if c := judgeMeasurement(m, 4, 1e-9); !c.Pass || c.Stat != -1 {
+		t.Fatalf("exact zero-vs-zero should pass degenerately: %+v", c)
 	}
 }

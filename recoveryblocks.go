@@ -46,6 +46,15 @@
 // (overhead per unit time, deadline-miss probability), cross-checking every
 // advised number against the simulators. See `rbrepro scenario` and the spec
 // files under testdata/scenarios/.
+//
+// The recovery disciplines themselves live behind the strategy registry
+// (internal/strategy): every layer above — advisor, cross-validation,
+// experiments, this facade, the CLI — dispatches through it, so a discipline
+// is a one-package drop-in (analytic model, sharded simulator, check
+// families) rather than a hand-rolled vertical slice. The registry ships the
+// paper's three organizations plus sync-every-k, the every-k-th-block
+// generalization of the synchronized scheme; see StrategyCatalog,
+// CompareStrategies and `rbrepro strategies`.
 package recoveryblocks
 
 import (
@@ -54,6 +63,7 @@ import (
 	"recoveryblocks/internal/rbmodel"
 	"recoveryblocks/internal/scenario"
 	"recoveryblocks/internal/sim"
+	"recoveryblocks/internal/strategy"
 	"recoveryblocks/internal/synch"
 	"recoveryblocks/internal/xval"
 )
@@ -361,6 +371,9 @@ const (
 	ScenarioSync = scenario.StrategySync
 	// ScenarioPRP selects pseudo recovery points (Section 4).
 	ScenarioPRP = scenario.StrategyPRP
+	// ScenarioSyncEveryK selects every-k-th-block synchronization (the
+	// Section 3 generalization; k = 1 is the paper's synchronized case).
+	ScenarioSyncEveryK = scenario.StrategySyncEveryK
 )
 
 // LoadScenarios decodes a versioned JSON spec (strictly: unknown fields,
@@ -393,3 +406,48 @@ func RunScenarios(scs []Scenario, opt ScenarioOptions) (*ScenarioReport, error) 
 // models alone (no simulation) and ranks them by expected overhead per unit
 // time; see RunScenarios for the cross-checked version.
 func Advise(sc Scenario) (*Advice, error) { return scenario.Advise(sc) }
+
+// ---- Strategy registry (internal/strategy) ----
+
+// StrategyInfo describes one registered recovery discipline.
+type StrategyInfo struct {
+	// Name is the registry key — the spelling scenario specs and the
+	// -strategy CLI flag use.
+	Name string
+	// Description is the one-line catalog entry.
+	Description string
+}
+
+// StrategyCatalog lists every registered recovery discipline in canonical
+// order — the paper's three organizations plus the registered extensions.
+// `rbrepro strategies` prints exactly this.
+func StrategyCatalog() []StrategyInfo {
+	all := strategy.All()
+	out := make([]StrategyInfo, len(all))
+	for i, st := range all {
+		out[i] = StrategyInfo{Name: string(st.Name()), Description: st.Describe()}
+	}
+	return out
+}
+
+// ParseScenarioStrategy validates a strategy name against the registry (the
+// seam behind the -strategy flag of `rbrepro xval` and `rbrepro scenario`).
+func ParseScenarioStrategy(s string) (ScenarioStrategy, error) {
+	return scenario.ParseStrategy(s)
+}
+
+// StrategyComparison tabulates every registered discipline priced on one
+// canonical workload.
+type StrategyComparison = expt.CompareResult
+
+// CompareStrategies prices every registered discipline on the canonical
+// comparison workload — sync-every-k once per block period in ks (nil
+// selects k ∈ {1, 2, 4}) — ranked by overhead rate. Deterministic model
+// evaluation only; see `rbrepro strategies -table`.
+func CompareStrategies(ks []int) (*StrategyComparison, error) {
+	return expt.CompareStrategies(ks)
+}
+
+// XValEveryKGrid returns the sync-every-k cross-validation grid — the cells
+// `rbrepro xval -strategy sync-every-k` sweeps.
+func XValEveryKGrid() []XValScenario { return xval.EveryKGrid() }
