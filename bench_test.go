@@ -408,3 +408,45 @@ func itoa(v int) string {
 	}
 	return string(buf[i:])
 }
+
+// BenchmarkChaosCorpus measures generating the CI-gate corpus: 200 random
+// scenario specs drawn, encoded, and re-read through the strict decoder (the
+// validity oracle). Pure CPU, no simulation.
+func BenchmarkChaosCorpus(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		scs, err := ChaosCorpus(200, 1983)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(scs) != 200 {
+			b.Fatal("wrong corpus size")
+		}
+	}
+}
+
+// BenchmarkChaosStabilityWorkers measures the stability sweep — clean advice
+// plus Draws perturbed advisor solves per (scenario, stack) cell — fanning a
+// 20-scenario corpus across 1, 2 and all workers. Reports are bit-identical
+// across all pool sizes; only time may differ. This is the BENCH_chaos.json
+// artifact tracking the cost of the chaos CI gate.
+func BenchmarkChaosStabilityWorkers(b *testing.B) {
+	scs, err := ChaosCorpus(20, 1983)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts() {
+		w := w
+		b.Run(benchName("workers", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep, err := RunChaos(scs, ChaosOptions{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Unstable != 0 {
+					b.Fatalf("%d unstable cells", rep.Unstable)
+				}
+			}
+		})
+	}
+}

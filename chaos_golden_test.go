@@ -1,0 +1,78 @@
+package recoveryblocks
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateChaos = flag.Bool("update-chaos", false, "rewrite the chaos golden reports from current output")
+
+// TestChaosMiniCorpusGolden runs the pinned 3-spec mini-corpus through the
+// chaos harness at default options and pins the machine-readable report —
+// every flip count, z statistic, margin erosion and sensitivity row — with a
+// golden file. Because every perturbed draw derives from the scenario seeds
+// through fixed substream indices, the JSON is bit-identical across runs and
+// worker counts; any drift means the perturbation engine, the advisor pricing
+// or the verdict logic changed, and the diff shows exactly where. Refresh
+// intentionally with
+//
+//	go test -run TestChaosMiniCorpusGolden . -update-chaos
+func TestChaosMiniCorpusGolden(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "chaos", "mini.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := LoadScenarios(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 3 {
+		t.Fatalf("mini corpus has %d scenarios, want the pinned 3", len(scs))
+	}
+	rep, err := RunChaos(scs, ChaosOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mini corpus is curated to be gate-clean at defaults: a wide-margin
+	// workload, a knife-edge near-tie (reported, not gated), and a structured
+	// pipeline workload with a deadline and the optimal request interval.
+	if rep.Unstable != 0 {
+		t.Fatalf("mini corpus judged unstable (%d cell(s)); the shipped corpus must pass the default gate", rep.Unstable)
+	}
+
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker-count invariance on the shipped corpus, not just unit batches.
+	rep1, err := RunChaos(scs, ChaosOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := rep1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got1) != string(got) {
+		t.Fatal("chaos report differs between Workers=0 and Workers=1")
+	}
+
+	golden := filepath.Join("testdata", "chaos", "mini.golden")
+	if *updateChaos {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-chaos to create): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("chaos report drifted from its golden file.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestChaosSubcommandSmoke drives the chaos harness end to end through the
+// CLI: corpus and spec-file sources, custom perturbation stacks, JSON mode.
+func TestChaosSubcommandSmoke(t *testing.T) {
+	cases := []struct {
+		args []string
+		want []string
+	}{
+		{[]string{"chaos", "-corpus", "8"},
+			[]string{"Chaos stability sweep", "corpus/00000", "corpus/00007", "flip threshold", "verdict"}},
+		{[]string{"chaos", "-spec", "../../testdata/chaos/mini.json"},
+			[]string{"mini/stable-async", "mini/knife-edge", "mini/pipeline-deadline", "all rankings stable"}},
+		{[]string{"chaos", "-corpus", "4", "-perturb", "error-spike:0.5|burst:1+straggler"},
+			[]string{"error-spike:0.5", "burst:1+straggler:0.25"}},
+		{[]string{"chaos", "-corpus", "4", "-draws", "8", "-threshold", "0.5"},
+			[]string{"p0 = 0.5", "8 draw(s) each"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.Join(c.args[1:], "_"), func(t *testing.T) {
+			t.Parallel()
+			out := runOK(t, c.args...)
+			for _, want := range c.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("rbrepro %v output missing %q", c.args, want)
+				}
+			}
+		})
+	}
+}
+
+func TestChaosUsageAndBadOperands(t *testing.T) {
+	for _, c := range []struct {
+		args  []string
+		usage bool
+	}{
+		{[]string{"chaos"}, true},
+		{[]string{"chaos", "-spec", "a.json", "-corpus", "4"}, true},
+		{[]string{"chaos", "-spec", "no-such-spec.json"}, false},
+		{[]string{"chaos", "-corpus", "4", "-perturb", "no-such-perturbation"}, false},
+		{[]string{"chaos", "-corpus", "4", "-perturb", "error-spike:bogus"}, false},
+		{[]string{"chaos", "-corpus", "-3"}, true}, // negative count falls through to "needs -spec or -corpus"
+		{[]string{"chaos", "-corpus", "4", "-draws", "1"}, false},
+		{[]string{"chaos", "-corpus", "4", "-threshold", "1.5"}, false},
+	} {
+		var out strings.Builder
+		err := Run(c.args, &out)
+		if err == nil {
+			t.Errorf("Run(%v) accepted", c.args)
+			continue
+		}
+		if got := errors.Is(err, errUsage); got != c.usage {
+			t.Errorf("Run(%v): usage error = %v, want %v (err: %v)", c.args, got, c.usage, err)
+		}
+	}
+}
+
+// TestChaosJSONReport checks the machine-readable chaos mode: valid JSON,
+// a verdict for every (scenario, stack) cell, and a clean default gate on the
+// shipped mini corpus.
+func TestChaosJSONReport(t *testing.T) {
+	out := runOK(t, "chaos", "-spec", "../../testdata/chaos/mini.json", "-json")
+	var rep struct {
+		Crit      float64 `json:"crit"`
+		Cells     int     `json:"cells"`
+		Unstable  int     `json:"unstable"`
+		Scenarios []struct {
+			Scenario string `json:"scenario"`
+			Winner   string `json:"winner"`
+			Cells    []struct {
+				Stack string  `json:"stack"`
+				Draws int     `json:"draws"`
+				Floor float64 `json:"floor"`
+			} `json:"cells"`
+		} `json:"scenarios"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("chaos -json did not emit valid JSON: %v", err)
+	}
+	if rep.Unstable != 0 {
+		t.Fatalf("mini corpus reported %d unstable cell(s)", rep.Unstable)
+	}
+	if rep.Crit <= 0 || rep.Cells != 12 || len(rep.Scenarios) != 3 {
+		t.Fatalf("report looks wrong: crit=%v cells=%d scenarios=%d", rep.Crit, rep.Cells, len(rep.Scenarios))
+	}
+	for _, sc := range rep.Scenarios {
+		if sc.Winner == "" || len(sc.Cells) != 4 {
+			t.Fatalf("scenario %q: winner=%q cells=%d", sc.Scenario, sc.Winner, len(sc.Cells))
+		}
+	}
+}
+
+// TestChaosGateExitsNonZero pins the CI contract: with zero flip tolerance
+// and the knife-edge boundary disabled, the mini corpus's near-tie scenario
+// must flip and the command must return an error (non-zero exit), naming the
+// unstable count.
+func TestChaosGateExitsNonZero(t *testing.T) {
+	var out strings.Builder
+	err := Run([]string{"chaos", "-spec", "../../testdata/chaos/mini.json",
+		"-threshold", "-1", "-margin-floor", "-1"}, &out)
+	if err == nil {
+		t.Fatal("zero-tolerance chaos run on a near-tie corpus exited clean")
+	}
+	if errors.Is(err, errUsage) {
+		t.Fatalf("gate failure reported as a usage error: %v", err)
+	}
+	if !strings.Contains(err.Error(), "unstable") {
+		t.Fatalf("gate error does not name the unstable verdict: %v", err)
+	}
+	if !strings.Contains(out.String(), "UNSTABLE") {
+		t.Fatal("report output does not mark the unstable cells")
+	}
+}
+
+// TestChaosDeterminismRegression is the table-driven determinism regression:
+// chaos and scenario outputs must be bit-identical across -workers 1/4/16 and
+// across two invocations with the same seed — for corpus, spec and family
+// sources alike (the chaos corpus covers every registered strategy by
+// construction).
+func TestChaosDeterminismRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs each command four times")
+	}
+	cases := [][]string{
+		{"chaos", "-corpus", "12", "-draws", "8"},
+		{"chaos", "-spec", "../../testdata/chaos/mini.json", "-json"},
+		{"chaos", "-corpus", "6", "-perturb", "burst:1+straggler|cost-inflate:2", "-json"},
+		{"scenario", "-family", "uniform", "-quick", "-json"},
+	}
+	for _, args := range cases {
+		args := args
+		t.Run(strings.Join(args, "_"), func(t *testing.T) {
+			t.Parallel()
+			ref := runOK(t, append(args, "-workers", "1")...)
+			for _, workers := range []string{"4", "16"} {
+				if got := runOK(t, append(args, "-workers", workers)...); got != ref {
+					t.Fatalf("output differs between -workers 1 and -workers %s", workers)
+				}
+			}
+			if again := runOK(t, append(args, "-workers", "1")...); again != ref {
+				t.Fatal("two same-seed invocations differ")
+			}
+		})
+	}
+}
+
+// TestChaosSeedOffsetIsIndependentReplication: a non-default -seed must
+// produce a different corpus (corpus mode) and shift every spec seed
+// (spec mode), changing the report in both cases.
+func TestChaosSeedOffsetIsIndependentReplication(t *testing.T) {
+	a := runOK(t, "chaos", "-corpus", "4", "-json")
+	b := runOK(t, "chaos", "-corpus", "4", "-seed", "7", "-json")
+	if a == b {
+		t.Fatal("different -seed produced an identical corpus report")
+	}
+	c := runOK(t, "chaos", "-spec", "../../testdata/chaos/mini.json", "-json")
+	d := runOK(t, "chaos", "-spec", "../../testdata/chaos/mini.json", "-seed", "7", "-json")
+	if c == d {
+		t.Fatal("different -seed produced an identical spec report")
+	}
+}

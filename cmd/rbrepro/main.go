@@ -17,11 +17,19 @@
 //	rbrepro strategies [-table [-k 1,2,4]]  # the recovery-discipline registry
 //	rbrepro xval  [-json] [-strategy S] # model vs simulator cross-validation
 //	rbrepro scenario -spec f | -family n [-json] [-strategy S]
+//	rbrepro chaos -spec f | -corpus N [-perturb stacks] [-json]
 //	rbrepro all                         # every experiment above
 //
 // Global flags: -quick (small Monte Carlo sizes; for xval, the short grid),
 // -seed N, -workers N (Monte Carlo worker-pool size; 0 = all CPUs; results
 // are bit-identical for every value).
+//
+// chaos runs the fault-injection stability harness: the advisor's clean
+// ranking of each scenario (from a spec file or a fixed-seed random corpus)
+// is compared against many perturbed draws per adversary (-perturb selects
+// the perturbation stacks; see the catalog in internal/chaos), and the
+// process exits non-zero when a confidently-won ranking flips significantly
+// more often than the tolerated threshold.
 //
 // xval sweeps the declarative scenario grid of internal/xval, printing one
 // row per model↔simulator comparison (the -json flag emits the
@@ -57,9 +65,10 @@ func main() {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `rbrepro — reproduce Shin & Lee (1983) tables and figures
-commands: table1 fig5 fig6 sync prp domino trace graph plan strategies xval scenario all
+commands: table1 fig5 fig6 sync prp domino trace graph plan strategies xval scenario chaos all
 flags:    -quick -seed N -workers N; fig5: -rhos -maxn -exact; fig6: -points -tmax;
           prp: -tr -lambda; trace: -scheme sync|prp; graph: -model full|symmetric|split;
           strategies: -table -k 1,2,4; xval: -json -strategy S;
-          scenario: -spec f | -family n, -json -strategy S`)
+          scenario: -spec f | -family n, -json -strategy S;
+          chaos: -spec f | -corpus N, -perturb stacks -draws N -threshold p -margin-floor m -json`)
 }

@@ -53,6 +53,11 @@ func Run(args []string, stdout io.Writer) error {
 	strategyName := fs.String("strategy", "", "restrict the run to one registered recovery strategy (xval, scenario)")
 	table := fs.Bool("table", false, "also print the registry-driven comparison table (strategies)")
 	ks := fs.String("k", "1,2,4", "comma-separated sync-every-k block periods (strategies -table)")
+	corpus := fs.Int("corpus", 0, "generate a fixed-seed random scenario corpus of this size (chaos)")
+	perturb := fs.String("perturb", "", `perturbation stacks, "|"-separated, layers "+"-composed, each "name[:magnitude]" (chaos)`)
+	draws := fs.Int("draws", 0, "perturbed draws per (scenario, stack) cell; 0 = default (chaos)")
+	threshold := fs.Float64("threshold", 0, "tolerated winner-flip probability per draw; 0 = default, negative = zero tolerance (chaos)")
+	marginFloor := fs.Float64("margin-floor", 0, "lower bound of the knife-edge margin boundary; 0 = default, negative = disabled (chaos)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the command to this file")
 	if err := fs.Parse(args[1:]); err != nil {
@@ -218,6 +223,8 @@ func Run(args []string, stdout io.Writer) error {
 			return runScenario(stdout, *specPath, *family, *quick, *seed, *workers, *jsonOut, *strategyName)
 		case "strategies":
 			return runStrategies(stdout, *table, *ks)
+		case "chaos":
+			return runChaos(stdout, *specPath, *corpus, *perturb, *seed, *workers, *jsonOut, *draws, *threshold, *marginFloor)
 		case "all":
 			for _, sub := range []string{"table1", "fig5", "fig6", "sync", "prp", "domino", "plan"} {
 				fmt.Fprintf(stdout, "================ %s ================\n", sub)
@@ -338,6 +345,76 @@ func runScenario(stdout io.Writer, specPath, family string, quick bool, seed int
 	}
 	if rep.Failures > 0 {
 		return fmt.Errorf("scenario: %d cross-check disagreement(s)", rep.Failures)
+	}
+	return nil
+}
+
+// runChaos sweeps ranking stability: the advisor's clean ranking of every
+// scenario against many perturbed draws per adversary stack. The scenarios
+// come from a spec file (-spec) or a fixed-seed random corpus (-corpus N).
+// An unstable verdict — a significant winner flip on a confidently-won
+// scenario — is returned as an error so the process exits non-zero: advice
+// that does not survive realistic faults must not look like success in CI.
+func runChaos(stdout io.Writer, specPath string, corpus int, perturb string, seed int64, workers int, jsonOut bool, draws int, threshold, marginFloor float64) error {
+	var scs []rb.Scenario
+	var err error
+	switch {
+	case specPath != "" && corpus > 0:
+		return fmt.Errorf("%w: give -spec or -corpus, not both", errUsage)
+	case specPath != "":
+		data, rerr := os.ReadFile(specPath)
+		if rerr != nil {
+			return rerr
+		}
+		scs, err = rb.LoadScenarios(data)
+		if err != nil {
+			return err
+		}
+		// Spec seeds are pinned; a non-default -seed shifts them all onto
+		// disjoint substreams (the same convention as scenario and xval).
+		if seed != 1983 {
+			for i := range scs {
+				scs[i].Seed += seed - 1983
+			}
+		}
+	case corpus > 0:
+		// The corpus is derived from -seed directly: same seed, same corpus,
+		// whatever the size of previous runs.
+		scs, err = rb.ChaosCorpus(corpus, seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: chaos needs -spec <file> or -corpus <count>", errUsage)
+	}
+
+	opt := rb.ChaosOptions{
+		Draws:         draws,
+		FlipThreshold: threshold,
+		MarginFloor:   marginFloor,
+		Workers:       workers,
+	}
+	if perturb != "" {
+		opt.Stacks, err = rb.ParseChaosStacks(perturb)
+		if err != nil {
+			return err
+		}
+	}
+	rep, err := rb.RunChaos(scs, opt)
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		fmt.Fprintln(stdout, rep.Format())
+	}
+	if rep.Unstable > 0 {
+		return fmt.Errorf("chaos: %d unstable cell(s) — advised winner does not survive perturbation", rep.Unstable)
 	}
 	return nil
 }

@@ -240,3 +240,47 @@ func TestFacadeExperimentsSmoke(t *testing.T) {
 		t.Error("domino demo had no recovery")
 	}
 }
+
+func TestFacadeChaosHarness(t *testing.T) {
+	catalog := ChaosPerturbations()
+	if len(catalog) != 4 {
+		t.Fatalf("perturbation catalog: %+v", catalog)
+	}
+	for _, info := range catalog {
+		if info.Name == "" || info.Description == "" {
+			t.Errorf("perturbation entry incomplete: %+v", info)
+		}
+	}
+
+	stacks, err := ParseChaosStacks("error-spike:0.5|burst+straggler:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stacks) != 2 || len(stacks[1]) != 2 {
+		t.Fatalf("parsed stacks: %v", stacks)
+	}
+	if _, err := ParseChaosStacks("bogus"); err == nil {
+		t.Fatal("bogus perturbation accepted")
+	}
+
+	scs, err := ChaosCorpus(4, 1983)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 4 {
+		t.Fatalf("corpus size: %d", len(scs))
+	}
+	rep, err := RunChaos(scs, ChaosOptions{Draws: 8, Stacks: stacks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Cells != 8 || len(rep.Scenarios) != 4 {
+		t.Fatalf("report shape: cells=%d scenarios=%d", rep.Cells, len(rep.Scenarios))
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Format() == "" {
+		t.Fatal("empty formatted report")
+	}
+}

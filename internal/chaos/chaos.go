@@ -1,0 +1,369 @@
+// Package chaos is the fault-injection and stability layer over the strategy
+// advisor: it answers the question the clean scenario engine cannot — does
+// the advisor's ranking *survive* messy traffic, or does the winning recovery
+// discipline flip the moment rates spike, failures correlate, checkpoints get
+// expensive or one process straggles?
+//
+// Three pieces:
+//
+//   - A perturbation engine: composable, registered perturbations of a
+//     resolved scenario (error-rate spikes, correlated interaction bursts
+//     across process subsets, checkpoint-cost inflation, straggler service
+//     rates). Every perturbation draws its randomness from a dist.Substream
+//     derived from the scenario seed and the draw index — the same substream
+//     discipline as internal/mc — so chaos runs are reproducible from a
+//     single seed and bit-identical for every worker count.
+//
+//   - A corpus generator: seeded random generation of valid scenario specs
+//     spanning every registered strategy and the workload shapes of the
+//     scenario families, with the strict spec decoder (scenario.Load) as the
+//     validity oracle — every generated spec round-trips through the same
+//     JSON schema user workloads arrive in.
+//
+//   - A stability analyzer (stability.go): for each base scenario it runs
+//     the advisor on the clean workload and on many perturbed draws, and
+//     reports ranking *stability* — winner-flip rate, margin erosion,
+//     per-strategy sensitivity — with a score-test significance guard from
+//     internal/stats, so a flip is only flagged when the flip rate exceeds
+//     the tolerated threshold by more than sampling noise explains.
+//
+// The layer is surfaced as facade exports (ChaosCorpus, RunChaos, …), the
+// `rbrepro chaos` subcommand (non-zero exit on unstable rankings), and a
+// fixed-seed corpus sweep gated in CI.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/scenario"
+)
+
+// DefaultMagnitude is the perturbation magnitude applied when a stack layer
+// does not choose one: rate and cost factors move by up to 25%.
+const DefaultMagnitude = 0.25
+
+// MaxMagnitude bounds a layer's magnitude. Beyond ~16× inflation the
+// perturbed workload no longer resembles the base scenario in any useful
+// sense, and the bound keeps hostile -perturb strings from demanding
+// overflow-scale rates.
+const MaxMagnitude = 16
+
+// Perturbation is one registered fault-injection transform. Implementations
+// must be stateless values: Apply derives all randomness from the provided
+// stream, never mutates the input scenario (it perturbs the copy it
+// returns), and must keep the scenario valid — positive finite rates, a
+// symmetric nonnegative interaction matrix, parameters inside the
+// strategy-layer bounds — for every magnitude in [0, MaxMagnitude] and every
+// stream state. FuzzPerturb pins that contract down.
+type Perturbation interface {
+	// Name is the registry key (also the -perturb CLI spelling).
+	Name() string
+	// Describe returns the one-line catalog description.
+	Describe() string
+	// Apply returns a perturbed copy of the scenario at the given magnitude.
+	Apply(sc scenario.Scenario, mag float64, rng *dist.Stream) scenario.Scenario
+}
+
+// The perturbation registry, in canonical catalog order.
+var registry struct {
+	order []Perturbation
+	byKey map[string]Perturbation
+}
+
+// Register adds a perturbation to the registry; it panics on a duplicate or
+// empty name (registration happens once, at init).
+func Register(p Perturbation) {
+	name := p.Name()
+	if name == "" {
+		panic("chaos: Register with empty name")
+	}
+	if strings.ContainsAny(name, ":,|") {
+		panic(fmt.Sprintf("chaos: perturbation name %q collides with the stack syntax", name))
+	}
+	if registry.byKey == nil {
+		registry.byKey = make(map[string]Perturbation)
+	}
+	if _, dup := registry.byKey[name]; dup {
+		panic(fmt.Sprintf("chaos: duplicate registration of %q", name))
+	}
+	registry.byKey[name] = p
+	registry.order = append(registry.order, p)
+}
+
+func init() {
+	Register(errorSpike{})
+	Register(burst{})
+	Register(costInflate{})
+	Register(straggler{})
+}
+
+// All returns every registered perturbation in registration order (a copy).
+func All() []Perturbation {
+	return append([]Perturbation(nil), registry.order...)
+}
+
+// Lookup resolves a registered perturbation by name.
+func Lookup(name string) (Perturbation, bool) {
+	p, ok := registry.byKey[name]
+	return p, ok
+}
+
+// Names returns the registered perturbation names in registration order.
+func Names() []string {
+	out := make([]string, len(registry.order))
+	for i, p := range registry.order {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// Layer is one perturbation at one magnitude inside a stack.
+type Layer struct {
+	Perturbation Perturbation
+	Magnitude    float64
+}
+
+// Stack is a composed sequence of perturbations, applied in order to one
+// scenario draw. Composition is the point: a rate spike *while* one process
+// straggles is a different adversary than either alone.
+type Stack []Layer
+
+// Apply runs the stack's layers in order on a deep copy of the scenario; the
+// input is never mutated.
+func (s Stack) Apply(sc scenario.Scenario, rng *dist.Stream) scenario.Scenario {
+	out := cloneScenario(sc)
+	for _, l := range s {
+		out = l.Perturbation.Apply(out, l.Magnitude, rng)
+	}
+	return out
+}
+
+// String renders the stack in the -perturb syntax ("error-spike:0.5+straggler:0.25").
+func (s Stack) String() string {
+	parts := make([]string, len(s))
+	for i, l := range s {
+		parts[i] = fmt.Sprintf("%s:%s", l.Perturbation.Name(), strconv.FormatFloat(l.Magnitude, 'g', -1, 64))
+	}
+	return strings.Join(parts, "+")
+}
+
+// Magnitude is the stack's summed layer magnitude — the scale of the whole
+// composed perturbation. The stability analyzer uses it as the knife-edge
+// boundary: a perturbation moving rates by up to a fraction γ can
+// legitimately flip any winner whose relative margin is below γ.
+func (s Stack) Magnitude() float64 {
+	total := 0.0
+	for _, l := range s {
+		total += l.Magnitude
+	}
+	return total
+}
+
+// Validate rejects empty stacks and out-of-bound magnitudes.
+func (s Stack) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("chaos: empty perturbation stack")
+	}
+	for _, l := range s {
+		if l.Magnitude < 0 || l.Magnitude > MaxMagnitude || math.IsNaN(l.Magnitude) {
+			return fmt.Errorf("chaos: %s magnitude %v must be in [0, %d]", l.Perturbation.Name(), l.Magnitude, MaxMagnitude)
+		}
+	}
+	return nil
+}
+
+// DefaultStacks returns the default adversary set: every registered
+// perturbation alone at DefaultMagnitude — the baseline `rbrepro chaos`
+// sweep and the CI corpus gate.
+func DefaultStacks() []Stack {
+	out := make([]Stack, 0, len(registry.order))
+	for _, p := range registry.order {
+		out = append(out, Stack{{Perturbation: p, Magnitude: DefaultMagnitude}})
+	}
+	return out
+}
+
+// ParseStacks decodes the -perturb flag syntax: stacks separated by "|",
+// layers within a stack by "+", each layer "name" or "name:magnitude".
+// ("error-spike:0.5|burst:1+straggler" is two adversaries, the second
+// composed.) The error lists the catalog so a typo is self-diagnosing.
+func ParseStacks(s string) ([]Stack, error) {
+	var out []Stack
+	for _, stackStr := range strings.Split(s, "|") {
+		stackStr = strings.TrimSpace(stackStr)
+		if stackStr == "" {
+			return nil, fmt.Errorf("chaos: empty perturbation stack in %q", s)
+		}
+		var st Stack
+		for _, layerStr := range strings.Split(stackStr, "+") {
+			layerStr = strings.TrimSpace(layerStr)
+			name, magStr, hasMag := strings.Cut(layerStr, ":")
+			p, ok := Lookup(name)
+			if !ok {
+				return nil, fmt.Errorf("chaos: unknown perturbation %q (registered: %s)", name, strings.Join(sortedNames(), ", "))
+			}
+			mag := DefaultMagnitude
+			if hasMag {
+				v, err := strconv.ParseFloat(magStr, 64)
+				if err != nil {
+					return nil, fmt.Errorf("chaos: bad magnitude %q for %s", magStr, name)
+				}
+				mag = v
+			}
+			st = append(st, Layer{Perturbation: p, Magnitude: mag})
+		}
+		if err := st.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func sortedNames() []string {
+	names := Names()
+	sort.Strings(names)
+	return names
+}
+
+// cloneScenario deep-copies the mutable scenario fields a perturbation may
+// touch, so Apply never aliases the caller's rate vectors or matrix.
+func cloneScenario(sc scenario.Scenario) scenario.Scenario {
+	out := sc
+	out.Mu = append([]float64(nil), sc.Mu...)
+	out.Lambda = make([][]float64, len(sc.Lambda))
+	for i := range sc.Lambda {
+		out.Lambda[i] = append([]float64(nil), sc.Lambda[i]...)
+	}
+	out.Strategies = append([]scenario.Strategy(nil), sc.Strategies...)
+	return out
+}
+
+// factor draws the multiplicative inflation 1 + mag·U for one layer
+// application: magnitude scales the *worst case*, the uniform draw keeps
+// repeated draws from being a single deterministic shift.
+func factor(mag float64, rng *dist.Stream) float64 {
+	return 1 + mag*rng.Float64()
+}
+
+// injectionBase is the rate a multiplicative perturbation falls back to when
+// the base value is exactly zero (multiplying zero would make the
+// perturbation a silent no-op): a small fraction of the mean recovery-point
+// rate, so the injected fault is on the scale of the workload's own
+// dynamics.
+func injectionBase(sc scenario.Scenario) float64 {
+	sum := 0.0
+	for _, m := range sc.Mu {
+		sum += m
+	}
+	return 0.05 * sum / float64(len(sc.Mu))
+}
+
+// errorSpike inflates the system error rate θ — the failure-rate spike every
+// production incident begins with. A workload with θ = 0 gets a spike
+// injected at the workload's own scale instead of a no-op.
+type errorSpike struct{}
+
+func (errorSpike) Name() string { return "error-spike" }
+func (errorSpike) Describe() string {
+	return "inflate the system error rate theta by up to (1+magnitude): the failure-rate spike of a production incident"
+}
+
+func (errorSpike) Apply(sc scenario.Scenario, mag float64, rng *dist.Stream) scenario.Scenario {
+	f := factor(mag, rng)
+	if sc.ErrorRate > 0 {
+		sc.ErrorRate *= f
+	} else {
+		sc.ErrorRate = (f - 1) * injectionBase(sc)
+	}
+	return sc
+}
+
+// burst inflates the interaction rates inside a random subset of ≥ 2
+// processes — a correlated failure burst: the processes that talk to each
+// other are exactly the ones an error propagates between, so inflating a
+// subset's λ_ij couples their rollbacks. Pairs with no base interaction get
+// the burst injected at the workload scale, so interaction-free scenarios
+// feel correlated failures too.
+type burst struct{}
+
+func (burst) Name() string { return "burst" }
+func (burst) Describe() string {
+	return "inflate the interaction rates lambda_ij inside a random process subset: correlated failure bursts"
+}
+
+func (burst) Apply(sc scenario.Scenario, mag float64, rng *dist.Stream) scenario.Scenario {
+	n := len(sc.Mu)
+	if n < 2 {
+		return sc
+	}
+	// Subset size 2..n, then a partial Fisher–Yates over the index vector:
+	// both draws come from the scenario's substream, so the subset is part of
+	// the reproducible draw.
+	size := 2 + rng.Intn(n-1)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < size; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	f := factor(mag, rng)
+	inject := (f - 1) * injectionBase(sc) / float64(n-1)
+	for a := 0; a < size; a++ {
+		for b := a + 1; b < size; b++ {
+			i, j := idx[a], idx[b]
+			if sc.Lambda[i][j] > 0 {
+				sc.Lambda[i][j] *= f
+			} else {
+				sc.Lambda[i][j] = inject
+			}
+			sc.Lambda[j][i] = sc.Lambda[i][j]
+		}
+	}
+	return sc
+}
+
+// costInflate inflates the checkpoint cost t_r — state saves and the
+// conversation machinery suddenly costing more (a slow disk, a saturated
+// network). A free-checkpoint workload gets a cost injected at a nominal 5%
+// of a unit-rate block.
+type costInflate struct{}
+
+func (costInflate) Name() string { return "cost-inflate" }
+func (costInflate) Describe() string {
+	return "inflate the checkpoint cost t_r by up to (1+magnitude): state saves and conversation machinery getting expensive"
+}
+
+func (costInflate) Apply(sc scenario.Scenario, mag float64, rng *dist.Stream) scenario.Scenario {
+	f := factor(mag, rng)
+	if sc.CheckpointCost > 0 {
+		sc.CheckpointCost *= f
+	} else {
+		sc.CheckpointCost = (f - 1) * 0.05
+	}
+	return sc
+}
+
+// straggler deflates one random process's recovery-point rate μ_i — the slow
+// replica. Stragglers are the adversary of every synchronized discipline
+// (the commitment wait is a max over processes) and stretch the recovery-line
+// spacing of the asynchronous one.
+type straggler struct{}
+
+func (straggler) Name() string { return "straggler" }
+func (straggler) Describe() string {
+	return "slow one random process's recovery-point rate mu_i by up to (1+magnitude): the straggling replica"
+}
+
+func (straggler) Apply(sc scenario.Scenario, mag float64, rng *dist.Stream) scenario.Scenario {
+	i := rng.Intn(len(sc.Mu))
+	sc.Mu[i] /= factor(mag, rng)
+	return sc
+}

@@ -1,0 +1,297 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/scenario"
+)
+
+// baseScenario is a fully resolved, valid 3-process scenario used across the
+// perturbation tests.
+func baseScenario() scenario.Scenario {
+	return scenario.Scenario{
+		Name:           "chaos-test/base",
+		Mu:             []float64{1, 1.5, 2},
+		Lambda:         [][]float64{{0, 0.5, 0.3}, {0.5, 0, 0.4}, {0.3, 0.4, 0}},
+		SyncInterval:   1,
+		EveryK:         2,
+		CheckpointCost: 0.05,
+		Deadline:       4,
+		ErrorRate:      0.1,
+		PLocal:         0.5,
+		Strategies: []scenario.Strategy{
+			scenario.StrategyAsync, scenario.StrategySync,
+			scenario.StrategyPRP, scenario.StrategySyncEveryK,
+		},
+		Reps: 4000,
+		Seed: 1983,
+	}
+}
+
+func TestRegistryCatalog(t *testing.T) {
+	want := []string{"error-spike", "burst", "cost-inflate", "straggler"}
+	if got := Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if got := len(All()); got != len(want) {
+		t.Fatalf("All() has %d perturbations, want %d", got, len(want))
+	}
+	for _, name := range want {
+		p, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) missing", name)
+		}
+		if p.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, p.Name())
+		}
+		if p.Describe() == "" {
+			t.Errorf("%s has an empty catalog description", name)
+		}
+	}
+	if _, ok := Lookup("no-such"); ok {
+		t.Fatal("Lookup accepted an unregistered name")
+	}
+}
+
+func TestRegisterRejects(t *testing.T) {
+	for name, p := range map[string]Perturbation{
+		"empty name":     stubPerturbation{name: ""},
+		"colon in name":  stubPerturbation{name: "a:b"},
+		"pipe in name":   stubPerturbation{name: "a|b"},
+		"duplicate name": stubPerturbation{name: "error-spike"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register tolerated %s", name)
+				}
+			}()
+			Register(p)
+		}()
+	}
+}
+
+type stubPerturbation struct{ name string }
+
+func (s stubPerturbation) Name() string     { return s.name }
+func (s stubPerturbation) Describe() string { return "stub" }
+func (s stubPerturbation) Apply(sc scenario.Scenario, _ float64, _ *dist.Stream) scenario.Scenario {
+	return sc
+}
+
+func TestParseStacksRoundTrips(t *testing.T) {
+	cases := []struct {
+		in     string
+		stacks int
+		want   string // String() of the first stack
+	}{
+		{"error-spike", 1, "error-spike:0.25"},
+		{"error-spike:0.5", 1, "error-spike:0.5"},
+		{"burst:1+straggler", 1, "burst:1+straggler:0.25"},
+		{" cost-inflate : is-not-trimmed", 0, ""}, // inner spaces around ":" are not magnitude syntax
+		{"error-spike:0.5|burst", 2, "error-spike:0.5"},
+	}
+	for _, c := range cases {
+		stacks, err := ParseStacks(c.in)
+		if c.stacks == 0 {
+			if err == nil {
+				t.Errorf("ParseStacks(%q) accepted", c.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseStacks(%q): %v", c.in, err)
+			continue
+		}
+		if len(stacks) != c.stacks {
+			t.Errorf("ParseStacks(%q) = %d stacks, want %d", c.in, len(stacks), c.stacks)
+			continue
+		}
+		if got := stacks[0].String(); got != c.want {
+			t.Errorf("ParseStacks(%q)[0] = %q, want %q", c.in, got, c.want)
+		}
+		// String() output must re-parse to the same stacks.
+		again, err := ParseStacks(stacks[0].String())
+		if err != nil || again[0].String() != stacks[0].String() {
+			t.Errorf("round-trip of %q failed: %v", stacks[0].String(), err)
+		}
+	}
+}
+
+func TestParseStacksRejects(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"|error-spike",
+		"no-such-perturbation",
+		"error-spike:abc",
+		"error-spike:-1",
+		"error-spike:17", // above MaxMagnitude
+		"error-spike+",
+	} {
+		if _, err := ParseStacks(in); err == nil {
+			t.Errorf("ParseStacks(%q) accepted", in)
+		}
+	}
+	// The unknown-name error lists the catalog, so a typo self-diagnoses.
+	_, err := ParseStacks("no-such")
+	if err == nil || !strings.Contains(err.Error(), "burst") {
+		t.Fatalf("unknown-perturbation error should list the catalog, got %v", err)
+	}
+}
+
+func TestStackMagnitudeSums(t *testing.T) {
+	stacks, err := ParseStacks("burst:1+straggler:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stacks[0].Magnitude(); got != 1.5 {
+		t.Fatalf("Magnitude() = %v, want 1.5", got)
+	}
+}
+
+func TestDefaultStacksCoverCatalog(t *testing.T) {
+	stacks := DefaultStacks()
+	if len(stacks) != len(Names()) {
+		t.Fatalf("DefaultStacks() = %d stacks, want one per perturbation (%d)", len(stacks), len(Names()))
+	}
+	for i, name := range Names() {
+		if len(stacks[i]) != 1 || stacks[i][0].Perturbation.Name() != name || stacks[i][0].Magnitude != DefaultMagnitude {
+			t.Errorf("DefaultStacks()[%d] = %s, want %s:%v alone", i, stacks[i], name, DefaultMagnitude)
+		}
+	}
+}
+
+func TestApplyNeverMutatesTheInput(t *testing.T) {
+	sc := baseScenario()
+	before := scenarioFingerprint(sc)
+	stacks, err := ParseStacks("error-spike:2+burst:2+cost-inflate:2+straggler:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 16; d++ {
+		stacks[0].Apply(sc, dist.Substream(sc.Seed, d))
+	}
+	if got := scenarioFingerprint(sc); !reflect.DeepEqual(got, before) {
+		t.Fatalf("Apply mutated the input scenario:\nbefore %v\nafter  %v", before, got)
+	}
+}
+
+func scenarioFingerprint(sc scenario.Scenario) scenario.Scenario {
+	out := sc
+	out.Mu = append([]float64(nil), sc.Mu...)
+	out.Lambda = make([][]float64, len(sc.Lambda))
+	for i := range sc.Lambda {
+		out.Lambda[i] = append([]float64(nil), sc.Lambda[i]...)
+	}
+	return out
+}
+
+func TestApplyIsDeterministicPerSubstream(t *testing.T) {
+	sc := baseScenario()
+	stacks, err := ParseStacks("burst:1+straggler:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := stacks[0].Apply(sc, dist.Substream(sc.Seed, 7))
+	b := stacks[0].Apply(sc, dist.Substream(sc.Seed, 7))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same substream produced different perturbed scenarios")
+	}
+	c := stacks[0].Apply(sc, dist.Substream(sc.Seed, 8))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different draw indices produced identical perturbations (stream unused?)")
+	}
+}
+
+// TestPerturbedScenariosStayValid pins the Perturbation contract on the
+// richest hand-built scenario: every registered perturbation, alone and
+// composed, at magnitudes from zero to the bound, must keep the scenario
+// accepted by scenario.Validate. FuzzPerturb extends this to arbitrary valid
+// specs.
+func TestPerturbedScenariosStayValid(t *testing.T) {
+	scs := []scenario.Scenario{baseScenario()}
+
+	// Zero-valued fields must take the injection path, not become no-ops or
+	// go negative.
+	zeroed := baseScenario()
+	zeroed.Name = "chaos-test/zeroed"
+	zeroed.ErrorRate = 0
+	zeroed.CheckpointCost = 0
+	zeroed.Lambda = [][]float64{{0, 0, 0}, {0, 0, 0}, {0, 0, 0}}
+	scs = append(scs, zeroed)
+
+	single := baseScenario()
+	single.Name = "chaos-test/single"
+	single.Mu = []float64{1}
+	single.Lambda = [][]float64{{0}}
+	scs = append(scs, single)
+
+	for _, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("base %s invalid before perturbation: %v", sc.Name, err)
+		}
+		for _, p := range All() {
+			for _, mag := range []float64{0, DefaultMagnitude, 1, MaxMagnitude} {
+				for d := 0; d < 8; d++ {
+					rng := dist.Substream(sc.Seed, d)
+					out := p.Apply(cloneScenario(sc), mag, rng)
+					if err := out.Validate(); err != nil {
+						t.Fatalf("%s at magnitude %v broke %s: %v", p.Name(), mag, sc.Name, err)
+					}
+				}
+			}
+		}
+		// The full catalog composed at the bound.
+		var full Stack
+		for _, p := range All() {
+			full = append(full, Layer{Perturbation: p, Magnitude: MaxMagnitude})
+		}
+		for d := 0; d < 8; d++ {
+			out := full.Apply(sc, dist.Substream(sc.Seed, 100+d))
+			if err := out.Validate(); err != nil {
+				t.Fatalf("composed max-magnitude stack broke %s: %v", sc.Name, err)
+			}
+		}
+	}
+}
+
+func TestBurstKeepsLambdaSymmetric(t *testing.T) {
+	sc := baseScenario()
+	// Zero one pair so the injection path runs too.
+	sc.Lambda[0][2], sc.Lambda[2][0] = 0, 0
+	p, _ := Lookup("burst")
+	for d := 0; d < 32; d++ {
+		out := p.Apply(cloneScenario(sc), 1, dist.Substream(sc.Seed, d))
+		for i := range out.Lambda {
+			for j := range out.Lambda[i] {
+				if out.Lambda[i][j] != out.Lambda[j][i] {
+					t.Fatalf("draw %d: lambda[%d][%d]=%v != lambda[%d][%d]=%v",
+						d, i, j, out.Lambda[i][j], j, i, out.Lambda[j][i])
+				}
+			}
+		}
+	}
+}
+
+func TestErrorSpikeInjectsIntoErrorFreeWorkload(t *testing.T) {
+	sc := baseScenario()
+	sc.ErrorRate = 0
+	p, _ := Lookup("error-spike")
+	out := p.Apply(cloneScenario(sc), 1, dist.Substream(1, 0))
+	if out.ErrorRate <= 0 {
+		t.Fatalf("error-spike on theta=0 stayed %v, want a positive injected rate", out.ErrorRate)
+	}
+}
+
+func TestZeroMagnitudeIsIdentity(t *testing.T) {
+	sc := baseScenario()
+	for _, p := range All() {
+		out := p.Apply(cloneScenario(sc), 0, dist.Substream(sc.Seed, 0))
+		if !reflect.DeepEqual(out, scenarioFingerprint(sc)) {
+			t.Errorf("%s at magnitude 0 changed the scenario", p.Name())
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/scenario"
+	"recoveryblocks/internal/strategy"
+)
+
+// The corpus generator: seeded random generation of valid scenario specs at
+// whatever count the sweep asks for, spanning every registered strategy and
+// the workload shapes of the built-in scenario families (uniform, hot-pair,
+// pipeline, straggler rates, deadlines, optimal-τ). Every generated spec is
+// emitted through the version-1 JSON schema and re-read with the strict
+// decoder (scenario.Load) — the same validity oracle the spec fuzzer pins —
+// so the corpus exercises exactly the path user workloads arrive in, and a
+// generator bug that produces an invalid spec fails loudly instead of
+// silently skewing the sweep.
+
+// CorpusReps is the replication budget stamped on every generated scenario.
+// The stability analyzer prices through the exact models only (no
+// simulation), so the value merely has to clear the schema's floor; it is a
+// named constant because it is part of the corpus's reproducible identity.
+const CorpusReps = scenario.QuickReps
+
+// corpusSeedStride separates the seeds of consecutive corpus scenarios so
+// their chaos substream families never collide (the same convention as the
+// scenario families' stride).
+const corpusSeedStride = 1_000_003
+
+// MaxCorpus bounds one corpus generation. The sweep is linear in the count,
+// but a hostile -corpus value must fail fast, not allocate without bound.
+const MaxCorpus = 100_000
+
+// Corpus generates count valid scenarios from the seed. The draw for index i
+// depends only on (seed, i) — its own dist.Substream — so growing the corpus
+// never changes the scenarios already in it, and two invocations with the
+// same seed are bit-identical.
+func Corpus(count int, seed int64) ([]scenario.Scenario, error) {
+	if count < 1 || count > MaxCorpus {
+		return nil, fmt.Errorf("chaos: corpus count %d must be in [1, %d]", count, MaxCorpus)
+	}
+	catalog := make([]string, 0, len(strategy.Names()))
+	for _, name := range strategy.Names() {
+		catalog = append(catalog, string(name))
+	}
+	spec := scenario.Spec{Version: scenario.SpecVersion}
+	for i := 0; i < count; i++ {
+		rng := dist.Substream(seed, i)
+		spec.Scenarios = append(spec.Scenarios, drawSpec(i, rng, catalog, seed))
+	}
+	// The validity oracle: round-trip through the strict decoder. A corpus
+	// scenario that the schema rejects is a generator bug.
+	data, err := json.Marshal(&spec)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: corpus encode: %w", err)
+	}
+	scs, err := scenario.Load(data)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: generated corpus failed the spec decoder: %w", err)
+	}
+	return scs, nil
+}
+
+// drawSpec draws one scenario spec. The shapes mirror the built-in scenario
+// families — uniform ρ, hot-pair, pipeline chains, straggler rate vectors —
+// and every scenario evaluates the full registered strategy catalog, so a
+// corpus sweep prices every discipline on every workload shape.
+func drawSpec(i int, rng *dist.Stream, catalog []string, seed int64) scenario.ScenarioSpec {
+	n := 2 + rng.Intn(4) // 2..5 processes
+	mu := make([]float64, n)
+	uniform := rng.Bernoulli(0.5)
+	base := 0.5 + 2*rng.Float64() // base rate in [0.5, 2.5)
+	for j := range mu {
+		if uniform {
+			mu[j] = base
+		} else {
+			// Heterogeneous rates, straggler-family style: each process at
+			// 0.4x..2x the base.
+			mu[j] = base * (0.4 + 1.6*rng.Float64())
+		}
+	}
+
+	ss := scenario.ScenarioSpec{
+		Name:           fmt.Sprintf("corpus/%05d", i),
+		Mu:             mu,
+		CheckpointCost: 0.01 + 0.09*rng.Float64(),
+		ErrorRate:      0.01 + 0.19*rng.Float64(),
+		Strategies:     catalog,
+		Reps:           CorpusReps,
+		Seed:           seed + int64(i)*corpusSeedStride,
+	}
+
+	rho := 0.5 + 3.5*rng.Float64()
+	switch rng.Intn(3) {
+	case 0: // uniform family: every pair at the same rate, via ρ
+		ss.Rho = rho
+	case 1: // hot-pair family: one pair far hotter than the rest
+		lambda := rho * base / float64(n-1)
+		m := make([][]float64, n)
+		for a := range m {
+			m[a] = make([]float64, n)
+			for b := range m[a] {
+				if a != b {
+					m[a][b] = lambda
+				}
+			}
+		}
+		hot := lambda * (2 + 6*rng.Float64())
+		m[0][1], m[1][0] = hot, hot
+		ss.LambdaMatrix = m
+	default: // pipeline family: chain interactions only
+		link := rho * float64(n) * base / (2 * float64(n-1))
+		m := make([][]float64, n)
+		for a := range m {
+			m[a] = make([]float64, n)
+		}
+		for a := 0; a+1 < n; a++ {
+			m[a][a+1], m[a+1][a] = link, link
+		}
+		ss.LambdaMatrix = m
+	}
+
+	if rng.Bernoulli(0.25) {
+		ss.SyncInterval = scenario.SyncSpec{Optimal: true} // θ is always positive above
+	} else {
+		ss.SyncInterval = scenario.SyncSpec{Tau: 0.5 + 1.5*rng.Float64()}
+	}
+	if rng.Bernoulli(0.5) {
+		ss.Deadline = 1 + 5*rng.Float64()
+	}
+	ss.SyncEveryK = 1 + rng.Intn(4)
+	return ss
+}

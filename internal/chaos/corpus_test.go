@@ -1,0 +1,108 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"recoveryblocks/internal/strategy"
+)
+
+func TestCorpusIsSeedDeterministic(t *testing.T) {
+	a, err := Corpus(40, 1983)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Corpus(40, 1983)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (count, seed) produced different corpora")
+	}
+	c, err := Corpus(40, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// TestCorpusGrowthIsInsertionStable pins the per-index substream contract:
+// scenario i depends only on (seed, i), so growing the corpus never changes
+// the scenarios already in it.
+func TestCorpusGrowthIsInsertionStable(t *testing.T) {
+	small, err := Corpus(25, 1983)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Corpus(50, 1983)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(small, large[:25]) {
+		t.Fatal("growing the corpus changed an existing scenario")
+	}
+}
+
+func TestCorpusScenariosAreValidAndSpanTheCatalog(t *testing.T) {
+	scs, err := Corpus(60, 1983)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 60 {
+		t.Fatalf("Corpus(60) = %d scenarios", len(scs))
+	}
+	var withDeadline, withOptimal, withMatrixShape int
+	seen := make(map[string]bool)
+	for i, sc := range scs {
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("corpus scenario %d invalid: %v", i, err)
+		}
+		if seen[sc.Name] {
+			t.Fatalf("duplicate corpus name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+		// Every scenario evaluates the full registered catalog, so a corpus
+		// sweep prices every discipline on every workload shape.
+		if len(sc.Strategies) != len(strategy.Names()) {
+			t.Fatalf("scenario %d evaluates %d strategies, want the full catalog (%d)",
+				i, len(sc.Strategies), len(strategy.Names()))
+		}
+		if sc.Deadline > 0 {
+			withDeadline++
+		}
+		if sc.OptimalSync {
+			withOptimal++
+		}
+		// Pipeline-shaped matrices leave non-adjacent pairs at zero, so at
+		// least one 3+-process scenario must have a zero off-diagonal pair.
+		if n := len(sc.Mu); n >= 3 {
+			for a := 0; a < n && withMatrixShape == 0; a++ {
+				for b := a + 1; b < n; b++ {
+					if sc.Lambda[a][b] == 0 {
+						withMatrixShape++
+						break
+					}
+				}
+			}
+		}
+	}
+	if withDeadline == 0 || withDeadline == len(scs) {
+		t.Errorf("deadline coverage degenerate: %d/%d", withDeadline, len(scs))
+	}
+	if withOptimal == 0 {
+		t.Error("no scenario requests the optimal sync interval")
+	}
+	if withMatrixShape == 0 {
+		t.Error("no scenario has a structured (non-uniform) interaction matrix")
+	}
+}
+
+func TestCorpusRejectsHostileCounts(t *testing.T) {
+	for _, count := range []int{0, -1, MaxCorpus + 1} {
+		if _, err := Corpus(count, 1983); err == nil {
+			t.Errorf("Corpus(%d) accepted", count)
+		}
+	}
+}

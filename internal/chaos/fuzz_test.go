@@ -1,0 +1,57 @@
+package chaos
+
+import (
+	"testing"
+
+	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/scenario"
+)
+
+// FuzzPerturb pins the Perturbation contract from the package doc: an
+// arbitrary stack of registered perturbations, applied at arbitrary in-range
+// magnitudes to any scenario the strict spec decoder accepts, must produce a
+// workload that scenario.Validate still accepts — positive finite rates, a
+// symmetric matrix, in-bound parameters — and must never panic. The stack is
+// decoded from fuzzed bytes (each byte selects a perturbation, the magnitude
+// sweeps the full [0, MaxMagnitude] range from the draw index), so the fuzzer
+// explores compositions the default adversary set never tries.
+func FuzzPerturb(f *testing.F) {
+	f.Add([]byte(`{"version":1,"scenarios":[{"name":"x","mu":[1,2],"lambda":0.5,"error_rate":0.1,"strategies":["async","sync","prp","sync-every-k"],"sync_every_k":2}]}`), []byte{0, 1, 2, 3}, int64(1))
+	f.Add([]byte(`{"version":1,"scenarios":[{"name":"x","n":3,"rho":2,"sync_interval":"optimal","error_rate":0.2}]}`), []byte{3, 3, 3}, int64(7))
+	f.Add([]byte(`{"version":1,"scenarios":[{"name":"x","mu":[1],"deadline":3}]}`), []byte{1}, int64(0))
+	f.Add([]byte(`{"version":1,"families":[{"family":"pipeline","reps":500}]}`), []byte{2, 0}, int64(42))
+	f.Fuzz(func(t *testing.T, spec []byte, stackBytes []byte, seed int64) {
+		scs, err := scenario.Load(spec)
+		if err != nil {
+			return // not a valid spec — FuzzDecodeSpec owns that contract
+		}
+		if len(stackBytes) > 8 {
+			stackBytes = stackBytes[:8] // bound the work per input, not the shapes
+		}
+		catalog := All()
+		var stack Stack
+		for i, b := range stackBytes {
+			// Magnitude sweeps [0, MaxMagnitude] deterministically from the
+			// layer index and seed, hitting 0 and the bound exactly.
+			mag := float64((int(b)/len(catalog)+i+int(seed&3))%5) / 4 * MaxMagnitude
+			stack = append(stack, Layer{
+				Perturbation: catalog[int(b)%len(catalog)],
+				Magnitude:    mag,
+			})
+		}
+		if len(stack) == 0 {
+			return
+		}
+		if err := stack.Validate(); err != nil {
+			t.Fatalf("generated stack invalid: %v", err)
+		}
+		for _, sc := range scs {
+			for d := 0; d < 3; d++ {
+				out := stack.Apply(sc, dist.Substream(seed, d))
+				if verr := out.Validate(); verr != nil {
+					t.Fatalf("stack %s broke scenario %q (draw %d): %v", stack, sc.Name, d, verr)
+				}
+			}
+		}
+	})
+}

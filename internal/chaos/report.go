@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// StrategySensitivity summarizes how one strategy's priced overhead moved
+// under a cell's perturbed draws — the per-strategy sensitivity the ranking
+// stability decomposes into.
+type StrategySensitivity struct {
+	Strategy string `json:"strategy"`
+	// MeanAbsDelta is the mean |overhead_perturbed − overhead_clean| across
+	// the draws.
+	MeanAbsDelta float64 `json:"mean_abs_delta"`
+	// MaxRelDelta is the worst relative move, max |Δ|/overhead_clean.
+	MaxRelDelta float64 `json:"max_rel_delta"`
+}
+
+// CellResult is one (scenario, perturbation stack) cell's verdict.
+type CellResult struct {
+	// Stack renders the perturbation stack in the -perturb syntax.
+	Stack string `json:"stack"`
+	Draws int    `json:"draws"`
+	// Flips counts the draws whose advised winner differed from the clean
+	// winner; FlipRate = Flips/Draws.
+	Flips    int     `json:"flips"`
+	FlipRate float64 `json:"flip_rate"`
+	// Stat is the one-sided score-test statistic of FlipRate against the
+	// tolerated threshold (−1 when the threshold is 0: degenerate, any flip
+	// is significant); Crit is the Bonferroni critical value applied.
+	Stat float64 `json:"stat"`
+	Crit float64 `json:"crit"`
+	// Significant reports whether the flip rate exceeds the threshold by
+	// more than sampling noise explains.
+	Significant bool `json:"significant"`
+	// Floor is the knife-edge boundary applied to this cell,
+	// max(Options.MarginFloor, the stack's summed magnitude); KnifeEdge
+	// marks cells whose clean relative margin was below it — flips there
+	// are the expected geometry of a near-tie under a perturbation of that
+	// scale, and are reported, never gated.
+	Floor     float64 `json:"floor"`
+	KnifeEdge bool    `json:"knife_edge"`
+	// Unstable = Significant && !KnifeEdge — the gated verdict.
+	Unstable bool `json:"unstable"`
+	// MeanMarginRel is the mean relative margin across perturbed draws;
+	// MarginErosion is how much of the clean relative margin the
+	// perturbation ate, (clean − mean perturbed)/clean (0 when the clean
+	// margin is 0).
+	MeanMarginRel float64               `json:"mean_margin_rel"`
+	MarginErosion float64               `json:"margin_erosion"`
+	Sensitivity   []StrategySensitivity `json:"sensitivity"`
+}
+
+// ScenarioStability is one scenario's slice of the report: the clean advice
+// and every stack's cell.
+type ScenarioStability struct {
+	Scenario string `json:"scenario"`
+	// Winner, Margin and MarginRel echo the clean (unperturbed) advice.
+	Winner    string       `json:"winner"`
+	Margin    float64      `json:"margin"`
+	MarginRel float64      `json:"margin_rel"`
+	Cells     []CellResult `json:"cells"`
+	Unstable  int          `json:"unstable"`
+}
+
+// Report is the outcome of a stability sweep — the machine-readable artifact
+// `rbrepro chaos -json` emits and the golden files pin.
+type Report struct {
+	Alpha float64 `json:"alpha"` // family-wise false-alarm rate requested
+	Crit  float64 `json:"crit"`  // one-sided Bonferroni critical value applied per cell
+	// FlipThreshold is the tolerated per-draw flip probability p0;
+	// MarginFloor the knife-edge boundary; Draws the per-cell draw count.
+	FlipThreshold float64 `json:"flip_threshold"`
+	MarginFloor   float64 `json:"margin_floor"`
+	Draws         int     `json:"draws"`
+	// Cells is the number of (scenario, stack) tests; Unstable and
+	// KnifeEdge count their verdicts.
+	Cells     int                 `json:"cells"`
+	Unstable  int                 `json:"unstable"`
+	KnifeEdge int                 `json:"knife_edge"`
+	Scenarios []ScenarioStability `json:"scenarios"`
+}
+
+// JSON renders the machine-readable report.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Format renders the human-readable report: per scenario, the clean advice
+// and one row per perturbation stack with the flip rate, margin erosion and
+// verdict; then the sweep-wide summary.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Chaos stability sweep: %d scenario(s) x %d stack(s) = %d cell(s), %d draw(s) each\n",
+		len(r.Scenarios), cellsPerScenario(r), r.Cells, r.Draws)
+	fmt.Fprintf(&b, "flip threshold p0 = %g, margin floor %g, family-wise alpha = %g  =>  one-sided z critical value %.3f\n",
+		r.FlipThreshold, r.MarginFloor, r.Alpha, r.Crit)
+	for _, sc := range r.Scenarios {
+		fmt.Fprintf(&b, "\n--- %s ---\n", sc.Scenario)
+		fmt.Fprintf(&b, "clean winner: %s (margin %.6f/t, %.1f%% relative)\n", sc.Winner, sc.Margin, 100*sc.MarginRel)
+		w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "perturbation\tflips\trate\terosion\tstat\tverdict")
+		for _, c := range sc.Cells {
+			stat := "degenerate"
+			if c.Stat >= 0 || c.Stat < -1 {
+				stat = fmt.Sprintf("z=%.2f", c.Stat)
+			}
+			fmt.Fprintf(w, "%s\t%d/%d\t%.3f\t%.1f%%\t%s\t%s\n",
+				c.Stack, c.Flips, c.Draws, c.FlipRate, 100*c.MarginErosion, stat, verdict(c))
+		}
+		w.Flush()
+	}
+	if r.Unstable == 0 {
+		fmt.Fprintf(&b, "\nall rankings stable: no significant winner flip beyond threshold (%d knife-edge cell(s) reported)\n", r.KnifeEdge)
+	} else {
+		fmt.Fprintf(&b, "\n%d UNSTABLE cell(s) — the advised winner does not survive perturbation; see rows marked UNSTABLE\n", r.Unstable)
+	}
+	return b.String()
+}
+
+func verdict(c CellResult) string {
+	switch {
+	case c.Unstable:
+		return "UNSTABLE"
+	case c.KnifeEdge && c.Significant:
+		return "knife-edge"
+	default:
+		return "stable"
+	}
+}
+
+func cellsPerScenario(r *Report) int {
+	if len(r.Scenarios) == 0 {
+		return 0
+	}
+	return len(r.Scenarios[0].Cells)
+}

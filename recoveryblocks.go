@@ -58,6 +58,7 @@
 package recoveryblocks
 
 import (
+	"recoveryblocks/internal/chaos"
 	"recoveryblocks/internal/core"
 	"recoveryblocks/internal/expt"
 	"recoveryblocks/internal/rbmodel"
@@ -451,3 +452,42 @@ func CompareStrategies(ks []int) (*StrategyComparison, error) {
 // XValEveryKGrid returns the sync-every-k cross-validation grid — the cells
 // `rbrepro xval -strategy sync-every-k` sweeps.
 func XValEveryKGrid() []XValScenario { return xval.EveryKGrid() }
+
+// ---- Chaos harness (internal/chaos) ----
+
+type (
+	// ChaosOptions tunes a ranking-stability sweep (zero value = defaults).
+	ChaosOptions = chaos.Options
+	// ChaosReport is the outcome of a stability sweep.
+	ChaosReport = chaos.Report
+	// ChaosStack is one composed perturbation adversary.
+	ChaosStack = chaos.Stack
+)
+
+// ChaosCorpus generates count valid scenarios from the seed — the fixed-seed
+// random workload population the chaos gate sweeps. Scenario i depends only
+// on (seed, i), so growing the corpus never changes existing scenarios.
+func ChaosCorpus(count int, seed int64) ([]Scenario, error) { return chaos.Corpus(count, seed) }
+
+// RunChaos sweeps every scenario under every perturbation stack and judges
+// ranking stability: the advisor prices the clean workload and many perturbed
+// draws per stack, and a cell is unstable only when the winner-flip rate
+// exceeds the tolerated threshold by more than sampling noise explains AND the
+// clean margin was wide enough that the flip is not near-tie geometry.
+// Deterministic: bit-identical for every worker count.
+func RunChaos(scs []Scenario, opt ChaosOptions) (*ChaosReport, error) { return chaos.Run(scs, opt) }
+
+// ChaosPerturbations lists the registered perturbations (name and one-line
+// description), in catalog order — what `rbrepro chaos` accepts in -perturb.
+func ChaosPerturbations() []StrategyInfo {
+	all := chaos.All()
+	out := make([]StrategyInfo, len(all))
+	for i, p := range all {
+		out[i] = StrategyInfo{Name: p.Name(), Description: p.Describe()}
+	}
+	return out
+}
+
+// ParseChaosStacks decodes the -perturb syntax: stacks separated by "|",
+// layers within a stack by "+", each layer "name" or "name:magnitude".
+func ParseChaosStacks(s string) ([]ChaosStack, error) { return chaos.ParseStacks(s) }
