@@ -1,0 +1,53 @@
+package recoveryblocks
+
+import (
+	"testing"
+
+	"recoveryblocks/internal/rare"
+	"recoveryblocks/internal/strategy"
+	"recoveryblocks/internal/xval"
+)
+
+// BenchmarkRareEstimators prices the rare-event engine per estimator on the
+// overlap grid's pinned cells — the same configurations the xval rare gate
+// judges, so the baseline tracks exactly the code CI proves correct. The
+// sync-tail cell exercises plain MC, the defensive-mixture importance
+// sampler, and forced splitting on one spec; the async cell adds the
+// auto-router's reset-spec path (mixture pilots feeding fixed-effort
+// splitting). Single-worker runs so the per-op cost is a property of the
+// estimator, not the runner's core count.
+func BenchmarkRareEstimators(b *testing.B) {
+	grid := xval.RareGrid()
+	syncCell, asyncCell := grid[0], grid[2]
+
+	runOne := func(b *testing.B, sc xval.Scenario, name strategy.Name, opt rare.Options) {
+		b.Helper()
+		st, ok := strategy.Lookup(name)
+		if !ok {
+			b.Fatalf("strategy %s not registered", name)
+		}
+		w := sc.Workload(1)
+		for i := 0; i < b.N; i++ {
+			est, err := strategy.RareDeadline(st, w, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if est.Method != rare.MethodExact && est.Reps == 0 {
+				b.Fatalf("estimator ran no replications: %+v", est)
+			}
+		}
+	}
+
+	b.Run("sync/mc", func(b *testing.B) {
+		runOne(b, syncCell, strategy.Sync, rare.Options{Method: rare.MethodMC})
+	})
+	b.Run("sync/is", func(b *testing.B) {
+		runOne(b, syncCell, strategy.Sync, rare.Options{Method: rare.MethodIS})
+	})
+	b.Run("sync/split", func(b *testing.B) {
+		runOne(b, syncCell, strategy.Sync, rare.Options{Method: rare.MethodSplit})
+	})
+	b.Run("async/auto", func(b *testing.B) {
+		runOne(b, asyncCell, strategy.Async, rare.Options{})
+	})
+}

@@ -15,8 +15,9 @@
 //	rbrepro graph -model full|symmetric|split   # Figures 2-4 as DOT
 //	rbrepro plan                        # design aids beyond the paper
 //	rbrepro strategies [-table [-k 1,2,4]]  # the recovery-discipline registry
-//	rbrepro xval  [-json] [-strategy S] # model vs simulator cross-validation
+//	rbrepro xval  [-json] [-strategy S] [-rare]  # model vs simulator cross-validation
 //	rbrepro scenario -spec f | -family n [-json] [-strategy S]
+//	rbrepro rare  [-spec f | -family n] [-method auto|mc|is|split] [-target r] [-json]
 //	rbrepro chaos -spec f | -corpus N [-perturb stacks] [-json]
 //	rbrepro all                         # every experiment above
 //
@@ -37,7 +38,17 @@
 // the statistical oracle CI runs against every change. Both xval and
 // scenario accept -strategy to restrict the run to one registered recovery
 // discipline (see `rbrepro strategies` for the catalog); for sync-every-k,
-// xval selects the discipline's dedicated grid.
+// xval selects the discipline's dedicated grid. -rare swaps in the
+// rare-event overlap grid: variance-reduced deadline-miss estimates judged
+// against the exact solvers in the ≤ 1e−6 regime.
+//
+// rare runs the rare-event engine over a scenario batch (default: the
+// deadline-tail family, which walks deadlines into the ≤ 1e−6 regime),
+// printing one row per scenario × strategy with the exact analytic miss
+// probability next to the variance-reduced estimate. -method forces an
+// estimator past the auto-router, -tilt and -splits force their knobs,
+// -reps sets the budget, and -target r demands a relative 95% CI half-width
+// of r on every row — the process exits non-zero when any row misses it.
 package main
 
 import (
@@ -65,10 +76,11 @@ func main() {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `rbrepro — reproduce Shin & Lee (1983) tables and figures
-commands: table1 fig5 fig6 sync prp domino trace graph plan strategies xval scenario chaos all
+commands: table1 fig5 fig6 sync prp domino trace graph plan strategies xval scenario rare chaos all
 flags:    -quick -seed N -workers N; fig5: -rhos -maxn -exact; fig6: -points -tmax;
           prp: -tr -lambda; trace: -scheme sync|prp; graph: -model full|symmetric|split;
-          strategies: -table -k 1,2,4; xval: -json -strategy S;
+          strategies: -table -k 1,2,4; xval: -json -strategy S -rare;
           scenario: -spec f | -family n, -json -strategy S;
+          rare: -spec f | -family n, -method auto|mc|is|split -reps N -tilt b -splits L -target r -json;
           chaos: -spec f | -corpus N, -perturb stacks -draws N -threshold p -margin-floor m -json`)
 }

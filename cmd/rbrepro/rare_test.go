@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRareSubcommand smoke-tests `rbrepro rare` end to end on the quick
+// deadline-tail default: every row prints with its exact reference, estimate
+// and method, and the run succeeds when no target is demanded.
+func TestRareSubcommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the rare-event engine over a family")
+	}
+	out := runOK(t, "rare", "-quick")
+	for _, want := range []string{
+		"Rare-event sweep", "deadline-tail/n3/d12", "exact P(miss)", "verdict",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rbrepro rare output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRareDeterminismRegression pins the ISSUE's determinism contract at the
+// CLI seam: `rbrepro rare` output is bit-identical across -workers 1, 4 and
+// 16 — through the engine's pilots, mixtures and splitting levels — and a
+// same-seed rerun reproduces it exactly.
+func TestRareDeterminismRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the rare-event engine several times")
+	}
+	base := runOK(t, "rare", "-quick", "-json", "-workers", "1")
+	for _, workers := range []string{"4", "16"} {
+		if got := runOK(t, "rare", "-quick", "-json", "-workers", workers); got != base {
+			t.Fatalf("rare output differs between -workers 1 and -workers %s", workers)
+		}
+	}
+	if got := runOK(t, "rare", "-quick", "-json", "-workers", "1"); got != base {
+		t.Fatal("same-seed rerun of rbrepro rare is not bit-identical")
+	}
+}
+
+// TestRareSeedOffsetIsIndependentReplication: shifting -seed moves every
+// scenario onto disjoint substreams, so the sweep changes but still succeeds.
+func TestRareSeedOffsetIsIndependentReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the rare-event engine twice")
+	}
+	a := runOK(t, "rare", "-quick", "-json")
+	b := runOK(t, "rare", "-quick", "-json", "-seed", "7")
+	if a == b {
+		t.Fatal("different -seed produced an identical rare sweep")
+	}
+}
+
+// TestRareJSONReport checks the machine-readable mode: valid JSON with rows
+// whose estimates carry the fields downstream tooling keys on.
+func TestRareJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the rare-event engine over a family")
+	}
+	out := runOK(t, "rare", "-quick", "-json")
+	var rep struct {
+		Rows []struct {
+			Scenario string  `json:"scenario"`
+			Strategy string  `json:"strategy"`
+			Exact    float64 `json:"exact"`
+			Estimate struct {
+				Prob   float64 `json:"prob"`
+				Method string  `json:"method"`
+			} `json:"estimate"`
+		} `json:"rows"`
+		Misses int `json:"misses"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("rare -json did not emit valid JSON: %v", err)
+	}
+	if len(rep.Rows) == 0 || rep.Misses != 0 {
+		t.Fatalf("report looks wrong: rows=%d misses=%d", len(rep.Rows), rep.Misses)
+	}
+	for _, row := range rep.Rows {
+		if row.Estimate.Method == "" || row.Estimate.Prob < 0 {
+			t.Fatalf("row %s/%s has a degenerate estimate: %+v", row.Scenario, row.Strategy, row)
+		}
+	}
+}
+
+// TestRareTargetMissExitsNonZero: an unreachable precision target must fail
+// the run with a plain command error (exit 1) after printing the sweep — the
+// contract CI pipelines rely on.
+func TestRareTargetMissExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the rare-event engine over a family")
+	}
+	var out strings.Builder
+	err := Run([]string{"rare", "-quick", "-target", "1e-9"}, &out)
+	if err == nil {
+		t.Fatal("impossible -target reported as success")
+	}
+	if errors.Is(err, errUsage) {
+		t.Fatalf("target miss reported as a usage error: %v", err)
+	}
+	if !strings.Contains(out.String(), "MISSED TARGET") {
+		t.Fatal("sweep output does not flag the missed rows")
+	}
+}
+
+// TestRareRejectsBadOperands covers the rare-specific flag validation paths.
+func TestRareRejectsBadOperands(t *testing.T) {
+	for _, args := range [][]string{
+		{"rare", "-family", "bogus"},
+		{"rare", "-spec", "no-such-spec.json"},
+		{"rare", "-quick", "-method", "bogus"},
+		{"rare", "-quick", "-strategy", "bogus"},
+		{"rare", "-quick", "-tilt", "-1"},
+		{"rare", "-quick", "-family", "uniform"}, // no deadline on that family
+	} {
+		var out strings.Builder
+		if err := Run(args, &out); err == nil {
+			t.Errorf("Run(%v) accepted a bad operand", args)
+		}
+	}
+	var out strings.Builder
+	if err := Run([]string{"rare", "-spec", "a.json", "-family", "x"}, &out); !errors.Is(err, errUsage) {
+		t.Errorf("conflicting -spec and -family = %v, want errUsage", err)
+	}
+}
+
+// TestXValRareGate runs the focused overlap gate through the CLI: the rare
+// grid passes, and its report carries only rare-family checks.
+func TestXValRareGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the rare-event overlap grid")
+	}
+	out := runOK(t, "xval", "-rare", "-json")
+	var rep struct {
+		Failures int `json:"failures"`
+		Checks   []struct {
+			Name string `json:"name"`
+		} `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("xval -rare -json did not emit valid JSON: %v", err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("rare overlap grid reported %d failures", rep.Failures)
+	}
+	if len(rep.Checks) == 0 {
+		t.Fatal("rare overlap grid ran no checks")
+	}
+	for _, c := range rep.Checks {
+		if !strings.HasPrefix(c.Name, "rare.") {
+			t.Errorf("xval -rare ran non-rare check %q", c.Name)
+		}
+	}
+}

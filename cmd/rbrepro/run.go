@@ -47,12 +47,18 @@ func Run(args []string, stdout io.Writer) error {
 	lambda := fs.Float64("lambda", 2.0, "per-pair interaction rate (prp)")
 	scheme := fs.String("scheme", "sync", "trace scheme: sync or prp")
 	model := fs.String("model", "full", "graph model: full, symmetric or split")
-	jsonOut := fs.Bool("json", false, "emit the machine-readable report (xval, scenario)")
-	specPath := fs.String("spec", "", "scenario spec file to run (scenario)")
-	family := fs.String("family", "", "built-in scenario family to run (scenario)")
-	strategyName := fs.String("strategy", "", "restrict the run to one registered recovery strategy (xval, scenario)")
+	jsonOut := fs.Bool("json", false, "emit the machine-readable report (xval, scenario, rare, chaos)")
+	specPath := fs.String("spec", "", "scenario spec file to run (scenario, rare, chaos)")
+	family := fs.String("family", "", "built-in scenario family to run (scenario, rare)")
+	strategyName := fs.String("strategy", "", "restrict the run to one registered recovery strategy (xval, scenario, rare)")
 	table := fs.Bool("table", false, "also print the registry-driven comparison table (strategies)")
 	ks := fs.String("k", "1,2,4", "comma-separated sync-every-k block periods (strategies -table)")
+	rareGrid := fs.Bool("rare", false, "run only the rare-event overlap grid (xval)")
+	method := fs.String("method", "", "rare estimator: auto, mc, is or split (rare)")
+	reps := fs.Int("reps", 0, "replication budget per estimate; 0 = scenario default (rare)")
+	tilt := fs.Float64("tilt", 0, "force the importance-sampling strength; 0 = adaptive (rare)")
+	splits := fs.Int("splits", 0, "force the splitting level count; 0 = from the pilot (rare)")
+	target := fs.Float64("target", 0, "required relative 95% CI half-width, e.g. 0.1; rows that miss it fail the run (rare)")
 	corpus := fs.Int("corpus", 0, "generate a fixed-seed random scenario corpus of this size (chaos)")
 	perturb := fs.String("perturb", "", `perturbation stacks, "|"-separated, layers "+"-composed, each "name[:magnitude]" (chaos)`)
 	draws := fs.Int("draws", 0, "perturbed draws per (scenario, stack) cell; 0 = default (chaos)")
@@ -218,9 +224,16 @@ func Run(args []string, stdout io.Writer) error {
 				fmt.Fprintf(stdout, "%d | %.4f   | %8.2f\n", n, p, q)
 			}
 		case "xval":
-			return runXVal(stdout, *quick, *seed, *workers, *jsonOut, *strategyName)
+			return runXVal(stdout, *quick, *seed, *workers, *jsonOut, *strategyName, *rareGrid)
 		case "scenario":
 			return runScenario(stdout, *specPath, *family, *quick, *seed, *workers, *jsonOut, *strategyName)
+		case "rare":
+			return runRare(stdout, rareArgs{
+				specPath: *specPath, family: *family, quick: *quick,
+				seed: *seed, workers: *workers, jsonOut: *jsonOut,
+				strategyName: *strategyName, method: *method, reps: *reps,
+				tilt: *tilt, splits: *splits, target: *target,
+			})
 		case "strategies":
 			return runStrategies(stdout, *table, *ks)
 		case "chaos":
@@ -419,25 +432,117 @@ func runChaos(stdout io.Writer, specPath string, corpus int, perturb string, see
 	return nil
 }
 
+// rareArgs bundles the rare subcommand's flag values; the flag set has grown
+// past what a readable parameter list carries.
+type rareArgs struct {
+	specPath, family      string
+	quick, jsonOut        bool
+	seed                  int64
+	workers, reps, splits int
+	strategyName, method  string
+	tilt, target          float64
+}
+
+// runRare drives the rare-event engine over a scenario batch — a spec file,
+// a built-in family, or the deadline-tail family by default — and prints the
+// sweep: each scenario × strategy row pairs the exact analytic deadline-miss
+// probability (where a solver answers) with the variance-reduced estimate.
+// A row that misses the -target precision is returned as an error so the
+// process exits non-zero: an estimate too wide to trust must not look like
+// success in a pipeline.
+func runRare(stdout io.Writer, a rareArgs) error {
+	var scs []rb.Scenario
+	var err error
+	switch {
+	case a.specPath != "" && a.family != "":
+		return fmt.Errorf("%w: give -spec or -family, not both", errUsage)
+	case a.specPath != "":
+		data, rerr := os.ReadFile(a.specPath)
+		if rerr != nil {
+			return rerr
+		}
+		scs, err = rb.LoadScenarios(data)
+	default:
+		// The deadline-tail family is the natural default: it is the one
+		// built to walk deadlines down into the ≤ 1e−6 regime.
+		fam := a.family
+		if fam == "" {
+			fam = "deadline-tail"
+		}
+		scs, err = rb.DefaultScenarioFamily(fam, a.quick)
+	}
+	if err != nil {
+		return err
+	}
+	// Pinned seeds shift under a non-default -seed, replicating the whole
+	// sweep on disjoint substreams (the same convention as scenario and
+	// xval); -strategy narrows every scenario to one discipline.
+	if a.seed != 1983 {
+		for i := range scs {
+			scs[i].Seed += a.seed - 1983
+		}
+	}
+	if a.strategyName != "" {
+		st, err := rb.ParseScenarioStrategy(a.strategyName)
+		if err != nil {
+			return err
+		}
+		for i := range scs {
+			scs[i].Strategies = []rb.ScenarioStrategy{st}
+		}
+	}
+	opt := rb.RareOptions{
+		Method:  rb.RareMethod(a.method),
+		Reps:    a.reps,
+		Tilt:    a.tilt,
+		Splits:  a.splits,
+		Target:  a.target,
+		Workers: a.workers,
+	}
+	rep, err := rb.RareSweep(scs, opt)
+	if err != nil {
+		return err
+	}
+	if a.jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, string(b))
+	} else {
+		fmt.Fprintln(stdout, rep.Format())
+	}
+	if rep.Misses > 0 {
+		return fmt.Errorf("rare: %d estimate(s) missed the precision target %g", rep.Misses, a.target)
+	}
+	return nil
+}
+
 // runXVal sweeps the cross-validation grid and reports; any model↔simulator
 // disagreement is returned as an error so the process exits non-zero.
 // -strategy restricts the checks to one registered discipline; for
 // sync-every-k — whose cells must opt in with a block period — it selects
-// the discipline's dedicated grid.
-func runXVal(stdout io.Writer, quick bool, seed int64, workers int, jsonOut bool, strategyName string) error {
+// the discipline's dedicated grid. -rare swaps in the rare-event overlap
+// grid and runs only the rare check family: the focused gate proving the
+// variance-reduced estimators against the exact solvers.
+func runXVal(stdout io.Writer, quick bool, seed int64, workers int, jsonOut bool, strategyName string, rareOnly bool) error {
 	grid := rb.XValFullGrid()
 	if quick {
 		grid = rb.XValShortGrid()
 	}
+	if rareOnly {
+		grid = rb.XValRareGrid()
+	}
 	var opt rb.XValOptions
 	opt.Workers = workers
+	opt.RareOnly = rareOnly
 	if strategyName != "" {
 		st, err := rb.ParseScenarioStrategy(strategyName)
 		if err != nil {
 			return err
 		}
 		opt.Strategies = []string{string(st)}
-		if st == rb.ScenarioSyncEveryK {
+		if st == rb.ScenarioSyncEveryK && !rareOnly {
 			grid = rb.XValEveryKGrid()
 		}
 	}

@@ -155,7 +155,7 @@ func TestFacadeScenarioEngine(t *testing.T) {
 	}
 
 	fams := ScenarioFamilies()
-	if len(fams) != 7 || fams[len(fams)-1] != "sync-every-k" {
+	if len(fams) != 8 || fams[len(fams)-1] != "sync-every-k" {
 		t.Fatalf("families: %v", fams)
 	}
 	grid, err := DefaultScenarioFamily("uniform", true)

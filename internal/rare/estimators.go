@@ -1,0 +1,493 @@
+package rare
+
+import (
+	"fmt"
+	"math"
+
+	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/mc"
+	"recoveryblocks/internal/stats"
+)
+
+// estimateIS runs the likelihood-ratio estimator of P(T > Offset + h) under
+// a single alternative sampling measure: per replication, events fire at
+// the sampling rates while the weight tracks the exact nominal-vs-sampling
+// path likelihood ratio, so the weighted survival indicator is unbiased for
+// the nominal probability. Because every category's rate is constant over
+// the path, the ratio of a path observed until time t is
+// exp(−(g−g′)t)·Π_k (r_k/q_k)^{N_k(t)} — one add in log space per event.
+//
+// Passing sampling == spec.Rates degenerates to plain Monte Carlo (every
+// weight is exactly 1). An all-zero sampling vector is the analytic limit
+// of infinite tilt: no event ever fires, every replication survives with
+// the constant weight e^{−g·h} — the zero-variance change of measure when
+// absorption needs no more than one event (the n = 1 closed form the tests
+// pin).
+//
+// The replication budget is sharded over internal/mc; block b draws from
+// dist.Substream(seed, b.Index) and per-block moments merge in block order,
+// so the estimate is bit-identical for every worker count.
+func estimateIS(spec Spec, h float64, sampling []float64, opt Options, seed int64) Estimate {
+	g := spec.total()
+	gq := 0.0
+	for _, q := range sampling {
+		gq += q
+	}
+	// Per-event log weight log(r_k/q_k); a category with q_k = 0 is never
+	// sampled, so its entry is irrelevant.
+	logRatio := make([]float64, len(sampling))
+	for k, q := range sampling {
+		if q > 0 {
+			logRatio[k] = math.Log(spec.Rates[k] / q)
+		}
+	}
+	var alias *dist.Alias
+	if gq > 0 {
+		alias = dist.NewAlias(sampling)
+	}
+	// Control variate: the weighted survival indicator at the shallower
+	// horizon h0, whose exact mean opt.CtrlProb the caller supplied.
+	h0 := opt.CtrlDeadline - spec.Offset
+	useCV := opt.CtrlProb > 0 && h0 > 0 && h0 < h
+
+	type block struct {
+		bi   stats.BiWelford // (weighted hit, weighted control hit)
+		lr   stats.Welford   // full-path likelihood ratio at the stopping time
+		hits int
+	}
+	blocks := mc.Run(opt.Reps, mc.DefaultBlockSize, opt.Workers, func(b mc.Block) block {
+		rng := dist.Substream(seed, b.Index)
+		var res block
+		for i := b.Lo; i < b.Hi; i++ {
+			s := spec.Walk.Start()
+			t, sumLog, c := 0.0, 0.0, 0.0
+			crossed := false
+			var w, lr float64
+			for {
+				if gq > 0 {
+					t += rng.Exp(gq)
+				} else {
+					t = h
+				}
+				if useCV && !crossed && t > h0 {
+					// First passage past the control horizon while alive:
+					// the control's weight is the likelihood ratio of the
+					// path observed up to h0 (events strictly before h0).
+					crossed = true
+					c = math.Exp(sumLog - (g-gq)*h0)
+				}
+				if t >= h {
+					w = math.Exp(sumLog - (g-gq)*h)
+					lr = w
+					res.hits++
+					break
+				}
+				k := alias.Pick(rng.Uint64())
+				sumLog += logRatio[k]
+				ns, absorbed := spec.Walk.Next(s, k)
+				if absorbed {
+					// The experiment completed before the horizon: the hit
+					// indicator is 0, but the full-path likelihood ratio
+					// (stopped at the absorption time) still feeds the
+					// mean-LR sanity statistic.
+					w = 0
+					lr = math.Exp(sumLog - (g-gq)*t)
+					break
+				}
+				s = ns
+			}
+			res.bi.Add(w, c)
+			res.lr.Add(lr)
+		}
+		return res
+	})
+	var biE, biO stats.BiWelford
+	var lrW stats.Welford
+	hits := 0
+	for i, b := range blocks {
+		if i%2 == 0 {
+			biE.Merge(b.bi)
+		} else {
+			biO.Merge(b.bi)
+		}
+		lrW.Merge(b.lr)
+		hits += b.hits
+	}
+	return finishWeighted(biE, biO, lrW, hits, useCV, opt)
+}
+
+// mixComp is one component of the defensive mixture: a change of measure
+// retuning category k's rate by the factor e^{logf[k]} (negative entries
+// mute, positive entries boost, zero leaves the rate nominal). An all-zero
+// vector is the nominal measure itself, included as a defensive component
+// on reset-structured specs.
+type mixComp struct {
+	logf []float64
+}
+
+// mixTilts is the mild tilt ladder mixed in for reset-structured specs:
+// each strength contributes a symmetric component (progress down, resets up
+// by β) and a down-only one (resets nominal). The ladder is short and mild
+// on purpose — the reset-sustained tail mode is governed by the chain's
+// quasi-stationary dynamics, a fixed per-unit-time retuning independent of
+// the horizon, and the balance heuristic interpolates between rungs.
+var mixTilts = []float64{0.5, 1, 2}
+
+// mixPlan builds the mixture for the spec. Always: one mute component per
+// positive-rate progress category, strength β_k = ln(r_k·h) + 3 clamped to
+// [1, MaxTilt] when forced is zero. The choice makes the muted category fire
+// ≈ e^{−3} ≈ 0.05 times per replication whatever its rate or the horizon —
+// silent as far as the tail event is concerned, yet frequent enough that the
+// "muted category fires anyway and the path absorbs" outcome, which carries
+// the estimator's balancing negative residuals, stays represented in any
+// moderately sized sample. (A much stronger mute, say β = 12 at r·h = 15,
+// makes that outcome a once-per-run rarity: samples that miss it are
+// conditionally biased high with a standard error understated by orders of
+// magnitude.)
+//
+// Reset-structured specs additionally mix in the mild exponential tilts of
+// mixTilts and the nominal measure itself. The reset tail is a union of
+// modes — some progress stream falls silent (the mute components), or the
+// rollback activity stays elevated just enough to keep tearing the recovery
+// line down, the chain's quasi-stationary mode, which a mild global tilt
+// samples — and each mode needs a component that visits it. The nominal
+// component caps every path's mixture weight at K outright, so no
+// component's unvisited heavy weight tail can fake a small standard error:
+// the worst case degrades toward plain MC at 1/K budget, visibly wide, never
+// silently biased.
+func mixPlan(spec Spec, h, forced float64) []mixComp {
+	m := len(spec.Rates)
+	var comps []mixComp
+	for k, r := range spec.Rates {
+		if r > 0 && (spec.Reset == nil || !spec.Reset[k]) {
+			beta := forced
+			if forced <= 0 {
+				beta = math.Min(MaxTilt, math.Max(1, math.Log(r*h)+3))
+			}
+			logf := make([]float64, m)
+			logf[k] = -beta
+			comps = append(comps, mixComp{logf: logf})
+		}
+	}
+	if !spec.hasReset() {
+		return comps
+	}
+	for _, beta := range mixTilts {
+		sym, down := make([]float64, m), make([]float64, m)
+		for k, r := range spec.Rates {
+			if r <= 0 {
+				continue
+			}
+			if spec.Reset[k] {
+				sym[k] = beta
+			} else {
+				sym[k], down[k] = -beta, -beta
+			}
+		}
+		comps = append(comps, mixComp{logf: sym}, mixComp{logf: down})
+	}
+	return append(comps, mixComp{logf: make([]float64, m)})
+}
+
+// estimateMix runs the defensive-mixture importance sampler over the
+// components mixPlan describes. Each replication picks a component uniformly
+// and samples the path from it; the weight divides the nominal path density
+// by the full mixture density (the balance heuristic), so the estimator is
+// unbiased whichever component produced the path — and any path that at
+// least one component samples well has bounded weight.
+//
+// This is the right change of measure for union-structured tail events,
+// where any single sampling measure fails: the tail splits into modes (one
+// process's recovery stays unfinished — the max-of-exponentials shape of
+// the synchronized disciplines; sustained rollback activity keeps tearing
+// the recovery line down — the quasi-stationary mode of the asynchronous
+// chain), and a measure tuned to one mode puts enormous weight on the
+// others' paths, which it never visits, so its estimate biases low at any
+// finite budget while its empirical standard error sees nothing. Under the
+// mixture, a path surviving via mode j is well covered by mode j's
+// component, which bounds its weight near K·P(mode j); on reset-structured
+// specs the nominal component caps every weight at K outright.
+//
+// Only the per-category event counts enter the weight: component c's path
+// density differs from the nominal one by e^{logf_c[k]} per category-k
+// event and by its total-rate exponent, so
+//
+//	W(path, t) = e^{−g·t} / ( (1/K)·Σ_c e^{Σ_k logf_c[k]·N_k − G_c·t} )
+//
+// with G_c the component's total sampling rate; the Π r_e event factors
+// cancel. The sum is evaluated in log space. A forced > 0 fixes every mute
+// strength (the CLI's -tilt); 0 selects the adaptive schedule.
+func estimateMix(spec Spec, h, forced float64, opt Options, seed int64) Estimate {
+	g := spec.total()
+	m := len(spec.Rates)
+	comps := mixPlan(spec, h, forced)
+	kk := len(comps)
+	if kk == 0 {
+		// No positive-rate progress category and no resets: degenerate to
+		// the plain estimator rather than failing.
+		return estimateIS(spec, h, spec.Rates, opt, seed)
+	}
+	// gQ[c] is the total sampling rate of component c.
+	gQ := make([]float64, kk)
+	aliases := make([]*dist.Alias, kk)
+	for c, mcp := range comps {
+		q := append([]float64(nil), spec.Rates...)
+		tot := 0.0
+		for k := range q {
+			q[k] *= math.Exp(mcp.logf[k])
+			tot += q[k]
+		}
+		gQ[c] = tot
+		aliases[c] = dist.NewAlias(q)
+	}
+	logK := math.Log(float64(kk))
+	// term is component c's log density ratio to nominal at stopping time t
+	// given the per-category event counts.
+	term := func(c int, counts []int, t float64) float64 {
+		l := -gQ[c] * t
+		for k, nk := range counts {
+			if nk != 0 {
+				l += comps[c].logf[k] * float64(nk)
+			}
+		}
+		return l
+	}
+	// weight computes W in log space (logsumexp over components); the two
+	// passes keep it allocation-free on the replication hot path.
+	weight := func(counts []int, t float64) float64 {
+		mx := math.Inf(-1)
+		for c := range comps {
+			if l := term(c, counts, t); l > mx {
+				mx = l
+			}
+		}
+		sum := 0.0
+		for c := range comps {
+			sum += math.Exp(term(c, counts, t) - mx)
+		}
+		return math.Exp(-g*t - (mx + math.Log(sum) - logK))
+	}
+
+	h0 := opt.CtrlDeadline - spec.Offset
+	useCV := opt.CtrlProb > 0 && h0 > 0 && h0 < h
+
+	type block struct {
+		bi   stats.BiWelford
+		lr   stats.Welford
+		hits int
+	}
+	blocks := mc.Run(opt.Reps, mc.DefaultBlockSize, opt.Workers, func(b mc.Block) block {
+		rng := dist.Substream(seed, b.Index)
+		var res block
+		counts := make([]int, m)
+		ctrlCounts := make([]int, m)
+		for i := b.Lo; i < b.Hi; i++ {
+			// The replication's sampling component, chosen uniformly.
+			c := rng.Intn(kk)
+			alias, gq := aliases[c], gQ[c]
+			s := spec.Walk.Start()
+			for j := range counts {
+				counts[j] = 0
+			}
+			t, ctrl := 0.0, 0.0
+			crossed := false
+			var w, lr float64
+			for {
+				t += rng.Exp(gq)
+				if useCV && !crossed && t > h0 {
+					crossed = true
+					copy(ctrlCounts, counts)
+					ctrl = weight(ctrlCounts, h0)
+				}
+				if t >= h {
+					w = weight(counts, h)
+					lr = w
+					res.hits++
+					break
+				}
+				k := alias.Pick(rng.Uint64())
+				counts[k]++
+				ns, absorbed := spec.Walk.Next(s, k)
+				if absorbed {
+					w = 0
+					lr = weight(counts, t)
+					break
+				}
+				s = ns
+			}
+			res.bi.Add(w, ctrl)
+			res.lr.Add(lr)
+		}
+		return res
+	})
+	var biE, biO stats.BiWelford
+	var lrW stats.Welford
+	hits := 0
+	for i, b := range blocks {
+		if i%2 == 0 {
+			biE.Merge(b.bi)
+		} else {
+			biO.Merge(b.bi)
+		}
+		lrW.Merge(b.lr)
+		hits += b.hits
+	}
+	return finishWeighted(biE, biO, lrW, hits, useCV, opt)
+}
+
+// finishWeighted turns the weighted-hit moments — accumulated in two halves
+// by block parity — into an Estimate: the control-variate adjustment when
+// enabled, the [0, 1] clamp, and the derived interval widths.
+//
+// The control coefficient is cross-fitted: each half's coefficient comes from
+// the other half's moments, so it is independent of the data it adjusts and
+// the adjusted estimator stays exactly unbiased. The usual plug-in
+// c* = Cov/Var on the pooled sample carries an O(1/n) coefficient–sample
+// correlation bias that is invisible ordinarily but dominates once the
+// control removes almost all the variance (the rare-event regime squeezes the
+// standard error by orders of magnitude, far below the plug-in bias).
+// Cross-fitting cancels it at no extra simulation cost.
+func finishWeighted(biE, biO stats.BiWelford, lrW stats.Welford, hits int, useCV bool, opt Options) Estimate {
+	var bi stats.BiWelford
+	bi.Merge(biE)
+	bi.Merge(biO)
+	raw := bi.MeanX()
+	wx := bi.X()
+	prob, se := raw, wx.StdErr()
+	cv := 0.0
+	switch {
+	case useCV && biE.N() >= 2 && biO.N() >= 2 && biE.VarY() > 0 && biO.VarY() > 0:
+		cE := biO.Cov() / biO.VarY()
+		cO := biE.Cov() / biE.VarY()
+		adjE := biE.MeanX() + cE*(opt.CtrlProb-biE.MeanY())
+		adjO := biO.MeanX() + cO*(opt.CtrlProb-biO.MeanY())
+		nE, nO := float64(biE.N()), float64(biO.N())
+		n := nE + nO
+		prob = (nE*adjE + nO*adjO) / n
+		cv = (nE*cE + nO*cO) / n
+		resVar := func(b stats.BiWelford, c float64) float64 {
+			v := b.VarX() - 2*c*b.Cov() + c*c*b.VarY()
+			return math.Max(v, 0)
+		}
+		// Var(prob) = (n_E·v_E + n_O·v_O)/n², each half's residual variance
+		// evaluated at the coefficient actually applied to it.
+		se = math.Sqrt(nE*resVar(biE, cE)+nO*resVar(biO, cO)) / n
+	case useCV && bi.VarY() > 0:
+		// A single-block run has no second half to borrow a coefficient
+		// from: fall back to the pooled plug-in fit.
+		cv = bi.Cov() / bi.VarY()
+		prob = raw + cv*(opt.CtrlProb-bi.MeanY())
+		resVar := bi.VarX() - bi.Cov()*bi.Cov()/bi.VarY()
+		if resVar < 0 {
+			resVar = 0
+		}
+		se = math.Sqrt(resVar / float64(bi.N()))
+	}
+	prob = math.Min(1, math.Max(0, prob))
+	return Estimate{
+		Prob:    prob,
+		StdErr:  se,
+		RelHW:   relHW(prob, se),
+		Reps:    bi.N(),
+		Hits:    hits,
+		RawProb: raw,
+		MeanLR:  lrW.Mean(),
+		CVCoeff: cv,
+		W:       wx,
+		LRW:     lrW,
+	}
+}
+
+// estimateSplit runs fixed-effort splitting over evenly spaced time levels:
+// level l restarts opt.Reps trajectories from states resampled out of level
+// l−1's survivor pool, and the estimate is the product of the per-level
+// conditional survival probabilities. The restart is exact because the
+// total event rate is the constant g in every state, so the holding time
+// remaining at a level boundary is Exp(g) regardless of history; the state
+// at the boundary is all a trajectory needs to carry.
+//
+// Determinism: level l's trajectories shard over internal/mc with substream
+// base seed + seedOffSplit + l·seedOffSplitLvl; each trajectory resamples
+// its start state from the pool with its own substream, and survivor pools
+// concatenate in block order — so pools, level probabilities and the final
+// product are bit-identical for every worker count.
+func estimateSplit(spec Spec, h float64, levels int, opt Options) Estimate {
+	g := spec.total()
+	alias := dist.NewAlias(spec.Rates)
+	span := h / float64(levels)
+	pool := []int{spec.Walk.Start()}
+	probs := make([]float64, 0, levels)
+	prod := 1.0
+	relVar := 0.0
+	reps := 0
+	lastHits := 0
+	note := ""
+	for l := 0; l < levels; l++ {
+		levelSeed := opt.Seed + seedOffSplit + int64(l)*seedOffSplitLvl
+		startPool := pool
+		type block struct{ survivors []int }
+		blocks := mc.Run(opt.Reps, mc.DefaultBlockSize, opt.Workers, func(b mc.Block) block {
+			rng := dist.Substream(levelSeed, b.Index)
+			var res block
+			for i := b.Lo; i < b.Hi; i++ {
+				s := startPool[rng.Intn(len(startPool))]
+				t := 0.0
+				alive := true
+				for {
+					t += rng.Exp(g)
+					if t >= span {
+						break
+					}
+					ns, absorbed := spec.Walk.Next(s, alias.Pick(rng.Uint64()))
+					if absorbed {
+						alive = false
+						break
+					}
+					s = ns
+				}
+				if alive {
+					res.survivors = append(res.survivors, s)
+				}
+			}
+			return res
+		})
+		var survivors []int
+		for _, b := range blocks {
+			survivors = append(survivors, b.survivors...)
+		}
+		reps += opt.Reps
+		p := float64(len(survivors)) / float64(opt.Reps)
+		probs = append(probs, p)
+		prod *= p
+		if p == 0 {
+			note = fmt.Sprintf("level %d of %d had no survivors; estimate degenerates to 0", l+1, levels)
+			relVar = math.Inf(1)
+			lastHits = 0
+			break
+		}
+		relVar += (1 - p) / (float64(opt.Reps) * p)
+		pool = survivors
+		lastHits = len(survivors)
+	}
+	se := prod * math.Sqrt(relVar)
+	if math.IsInf(relVar, 1) {
+		se = 0 // a zero estimate has no usable spread; RelHW below is +Inf anyway
+	}
+	return Estimate{
+		Prob:    prod,
+		StdErr:  se,
+		RelHW:   relHW(prod, se),
+		Method:  MethodSplit,
+		Splits:  levels,
+		Reps:    reps,
+		Hits:    lastHits,
+		RawProb: prod,
+		MeanLR:  1,
+		Levels:  probs,
+		Note:    note,
+		// Synthetic per-replication moments matching the product estimator's
+		// mean and standard error, so harnesses can judge splitting with the
+		// same z-test as the streaming estimators.
+		W: stats.FromMoments(opt.Reps, prod, se*se*float64(opt.Reps)),
+	}
+}

@@ -1,0 +1,116 @@
+package rare
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzOptionsNormalize pins the Options contract: Normalize never panics,
+// whatever the raw tilt/split/budget values, and whenever it accepts a
+// configuration the result is bounded, runnable and a fixed point (so the
+// CLI can parse user flags straight into Options and trust the validated
+// copy). Float fields arrive as raw bits so the fuzzer reaches NaNs,
+// infinities and subnormals the flag parser could produce.
+func FuzzOptionsNormalize(f *testing.F) {
+	f.Add("auto", 0, uint64(0), 0, uint64(0), uint64(0), uint64(0), int64(0), 0)
+	f.Add("is", 5000, math.Float64bits(2.5), 0, math.Float64bits(0.1), uint64(0), uint64(0), int64(7), 4)
+	f.Add("split", 100, uint64(0), 12, uint64(0), uint64(0), uint64(0), int64(-3), 1)
+	f.Add("mc", MaxReps, math.Float64bits(MaxTilt), MaxSplits, math.Float64bits(1), math.Float64bits(3), math.Float64bits(0.5), int64(1), 16)
+	f.Add("magic", -1, math.Float64bits(math.NaN()), -5, math.Float64bits(math.Inf(1)), math.Float64bits(-1), math.Float64bits(1.5), int64(0), -2)
+	f.Fuzz(func(t *testing.T, method string, reps int, tiltBits uint64, splits int, targetBits, ctrlDBits, ctrlPBits uint64, seed int64, workers int) {
+		o := Options{
+			Method:       Method(method),
+			Reps:         reps,
+			Tilt:         math.Float64frombits(tiltBits),
+			Splits:       splits,
+			Target:       math.Float64frombits(targetBits),
+			CtrlDeadline: math.Float64frombits(ctrlDBits),
+			CtrlProb:     math.Float64frombits(ctrlPBits),
+			Seed:         seed,
+			Workers:      workers,
+		}
+		norm, err := o.Normalize()
+		if err != nil {
+			return // rejected is fine; rejecting without panicking is the contract
+		}
+		switch norm.Method {
+		case MethodAuto, MethodMC, MethodIS, MethodSplit:
+		default:
+			t.Fatalf("Normalize accepted method %q", norm.Method)
+		}
+		if norm.Reps < 2 || norm.Reps > MaxReps {
+			t.Fatalf("Normalize produced reps %d outside [2, %d]", norm.Reps, MaxReps)
+		}
+		if !(norm.Tilt >= 0 && norm.Tilt <= MaxTilt) {
+			t.Fatalf("Normalize produced tilt %v outside [0, %v]", norm.Tilt, MaxTilt)
+		}
+		if norm.Splits < 0 || norm.Splits > MaxSplits {
+			t.Fatalf("Normalize produced splits %d outside [0, %d]", norm.Splits, MaxSplits)
+		}
+		if !(norm.Target >= 0) || math.IsInf(norm.Target, 0) {
+			t.Fatalf("Normalize produced target %v", norm.Target)
+		}
+		if !(norm.CtrlProb >= 0 && norm.CtrlProb <= 1) || !(norm.CtrlDeadline >= 0) || math.IsInf(norm.CtrlDeadline, 0) {
+			t.Fatalf("Normalize produced control pair (%v, %v)", norm.CtrlDeadline, norm.CtrlProb)
+		}
+		if (norm.CtrlDeadline > 0) != (norm.CtrlProb > 0) {
+			t.Fatalf("Normalize accepted a half-configured control variate: %+v", norm)
+		}
+		again, err := norm.Normalize()
+		if err != nil || again != norm {
+			t.Fatalf("Normalize is not a fixed point: %+v -> %+v (%v)", norm, again, err)
+		}
+	})
+}
+
+// FuzzRunConfig drives Run end to end with fuzzed estimator configuration
+// on a small fixed walk: whatever the method, strength, level count,
+// control pair or deadline, Run must either reject the input with an error
+// or return a finite probability in [0, 1] — never panic, never NaN. The
+// replication budget is folded into a small range so every fuzz execution
+// stays cheap.
+func FuzzRunConfig(f *testing.F) {
+	f.Add("auto", 0, uint64(0), 0, math.Float64bits(4.0), uint64(0), uint64(0), int64(0))
+	f.Add("is", 100, math.Float64bits(3), 0, math.Float64bits(9.0), math.Float64bits(4), math.Float64bits(0.1), int64(5))
+	f.Add("split", 200, uint64(0), 7, math.Float64bits(12.0), uint64(0), uint64(0), int64(9))
+	f.Add("mc", 50, uint64(0), 0, math.Float64bits(0.5), uint64(0), uint64(0), int64(2))
+	f.Fuzz(func(t *testing.T, method string, reps int, tiltBits uint64, splits int, deadlineBits, ctrlDBits, ctrlPBits uint64, seed int64) {
+		opt := Options{
+			Method:       Method(method),
+			Reps:         2 + abs(reps)%512,
+			Tilt:         math.Float64frombits(tiltBits),
+			Splits:       splits,
+			CtrlDeadline: math.Float64frombits(ctrlDBits),
+			CtrlProb:     math.Float64frombits(ctrlPBits),
+			Seed:         seed,
+			Workers:      1,
+		}
+		if opt.Splits > 8 {
+			opt.Splits %= 9 // bound the per-execution work, not the shapes
+		}
+		deadline := math.Float64frombits(deadlineBits)
+		if deadline > 64 {
+			deadline = math.Mod(deadline, 64)
+		}
+		est, err := Run(uniformSpec(2, 1), deadline, opt)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(est.Prob) || est.Prob < 0 || est.Prob > 1 {
+			t.Fatalf("Run returned probability %v for %+v at deadline %v", est.Prob, opt, deadline)
+		}
+		if math.IsNaN(est.StdErr) || est.StdErr < 0 {
+			t.Fatalf("Run returned standard error %v for %+v at deadline %v", est.StdErr, opt, deadline)
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == math.MinInt {
+			return math.MaxInt
+		}
+		return -x
+	}
+	return x
+}

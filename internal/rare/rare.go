@@ -1,0 +1,579 @@
+// Package rare is the variance-reduced estimator layer for deadline-miss
+// probabilities — the tail quantities P(T > d) the paper's Section 5 argues
+// about but plain Monte Carlo cannot reach: at real reliability targets
+// (miss rates ≤ 1e-6) a binomial estimator needs ~1/p replications per
+// significant digit, so the advisor's budgets return zero-hit estimates in
+// exactly the regime that matters.
+//
+// The package offers three estimators behind one entry point (Run), all
+// sharded over internal/mc and therefore bit-identical for every worker
+// count:
+//
+//   - Plain Monte Carlo: the baseline binomial estimator, right whenever the
+//     event is not actually rare.
+//
+//   - Importance sampling, reweighting each replication by its exact path
+//     likelihood ratio so the estimator stays unbiased. Because every
+//     category fires at a constant rate in every transient state, the
+//     likelihood ratio of a path observed until time t collapses to a
+//     per-category event-count form — one add in log space per event.
+//
+//     The automatic change of measure is a defensive mixture, because every
+//     tail event in this model family is union-structured — a uniform tilt
+//     of all rates is provably poor for such events (the dominant rare paths
+//     retune one stream and keep the rest at nominal intensity, so tilting
+//     everything puts enormous weight on paths the sampler never visits; the
+//     estimate biases low at any finite budget). For the synchronized
+//     disciplines the union is "some process's recovery stays unfinished
+//     past the horizon": one mute component per progress category, each
+//     slowing just that category. For the asynchronous discipline the union
+//     adds the sustained-rollback modes — "some interaction pair fires hot
+//     enough to keep tearing the recovery line down" — so reset-structured
+//     specs get one boost component per reset category plus the nominal
+//     measure itself as a safety net. Each replication draws its component
+//     uniformly and the weight divides the nominal density by the full
+//     mixture density (the balance heuristic): a path surviving via mode j
+//     has bounded weight near K·P(mode j), so the relative variance stays
+//     bounded at any tail depth. A caller-forced strength (-tilt) instead
+//     fixes the mixture's mute strength on pure-progress specs, or applies
+//     the classical symmetric exponential tilt on reset-structured ones.
+//
+//     Either way a control variate — the miss indicator at a shallower
+//     deadline whose exact probability the caller knows from the analytic
+//     model — can be fitted per run (see stats.BiWelford) to remove the
+//     variance the weight shares with the shallow event.
+//
+//   - Fixed-effort splitting (RESTART): the horizon is cut into L level
+//     boundaries; each level restarts a fixed effort of trajectories from
+//     states resampled out of the previous level's survivor pool, and the
+//     estimate is the product of per-level conditional survival
+//     probabilities. Restarting mid-flight is exact — not an approximation —
+//     because the total event rate is the same constant g in every state, so
+//     the remaining holding time at a level boundary is Exp(g) regardless of
+//     history.
+//
+// An auto-router picks between the three from a cheap pilot run: plain MC
+// when the pilot already sees enough hits; splitting for reset-structured
+// specs, whose quasi-stationary tail drift no constant-rate change of
+// measure represents faithfully; otherwise the defensive mixture, falling
+// back to splitting when the mixture pilot yields no usable estimate
+// (nothing survived, or the weights underflowed at abyssal depth).
+package rare
+
+import (
+	"fmt"
+	"math"
+
+	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/stats"
+)
+
+// Walk is the embedded jump chain of a deadline experiment: the discrete
+// state the process model moves through as superposed Poisson events fire.
+// Implementations must be pure — Next may not retain or mutate anything —
+// and must describe a model whose event categories all fire at constant
+// rate in every non-absorbed state (the property that makes the likelihood
+// ratio collapse and level restarts exact; every discipline in
+// internal/strategy satisfies it by construction).
+type Walk interface {
+	// Start returns the initial state.
+	Start() int
+	// Next applies one event of the given category and reports whether the
+	// chain absorbed (the deadline experiment completed before the horizon).
+	Next(state, cat int) (next int, absorbed bool)
+}
+
+// Spec describes one deadline experiment: the event categories with their
+// nominal rates, which of them are rollback-propagating (tilted up rather
+// than down), the embedded walk, and a deterministic time offset (the
+// synchronized disciplines' head start τ) subtracted from the deadline
+// before any simulation.
+type Spec struct {
+	// Rates holds the nominal per-category event rates (all ≥ 0, at least
+	// one positive).
+	Rates []float64
+	// Reset marks the categories that delay absorption (interaction /
+	// rollback-propagation events): exponential tilting scales them up by
+	// e^{+β} while progress categories scale down by e^{−β}. Nil means no
+	// reset categories.
+	Reset []bool
+	// Walk is the embedded jump chain.
+	Walk Walk
+	// Offset is the deterministic part of the completion time; the simulated
+	// horizon is deadline − Offset, and a deadline inside the offset misses
+	// with probability 1 (resolved exactly, without simulation).
+	Offset float64
+}
+
+// validate rejects malformed specs before any work is spent.
+func (s Spec) validate() error {
+	if s.Walk == nil {
+		return fmt.Errorf("rare: spec needs a walk")
+	}
+	if len(s.Rates) == 0 {
+		return fmt.Errorf("rare: spec needs at least one event category")
+	}
+	if len(s.Rates) > dist.MaxAliasCategories {
+		return fmt.Errorf("rare: %d event categories exceed the sampler's limit %d", len(s.Rates), dist.MaxAliasCategories)
+	}
+	total := 0.0
+	for i, r := range s.Rates {
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return fmt.Errorf("rare: category %d rate %v must be nonnegative and finite", i, r)
+		}
+		total += r
+	}
+	if total <= 0 {
+		return fmt.Errorf("rare: spec needs a positive total event rate")
+	}
+	if s.Reset != nil && len(s.Reset) != len(s.Rates) {
+		return fmt.Errorf("rare: Reset length %d must match %d categories", len(s.Reset), len(s.Rates))
+	}
+	if s.Offset < 0 || math.IsNaN(s.Offset) || math.IsInf(s.Offset, 0) {
+		return fmt.Errorf("rare: offset %v must be nonnegative and finite", s.Offset)
+	}
+	return nil
+}
+
+// total returns the nominal superposed event rate g = Σ rates.
+func (s Spec) total() float64 {
+	g := 0.0
+	for _, r := range s.Rates {
+		g += r
+	}
+	return g
+}
+
+// hasReset reports whether any positive-rate category is rollback-
+// propagating — the property that adds boost and nominal components to the
+// defensive mixture, and selects the classical exponential tilt when the
+// caller forces a strength.
+func (s Spec) hasReset() bool {
+	for i, r := range s.Reset {
+		if r && s.Rates[i] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// tilted returns the rates under exponential tilting: progress categories
+// scaled by e^{−down}, reset categories by e^{+up}. An up of zero leaves
+// the reset streams at nominal intensity — the better measure when resets
+// do not actually drive the tail event, since tilting them only spreads
+// the likelihood ratio.
+func (s Spec) tilted(down, up float64) []float64 {
+	fd, fu := math.Exp(-down), math.Exp(up)
+	q := make([]float64, len(s.Rates))
+	for i, r := range s.Rates {
+		if s.Reset != nil && s.Reset[i] {
+			q[i] = r * fu
+		} else {
+			q[i] = r * fd
+		}
+	}
+	return q
+}
+
+// Method selects a rare-event estimator.
+type Method string
+
+const (
+	// MethodAuto lets the pilot-run router choose.
+	MethodAuto Method = "auto"
+	// MethodMC is the plain binomial Monte Carlo estimator.
+	MethodMC Method = "mc"
+	// MethodIS is importance sampling by exponential tilting.
+	MethodIS Method = "is"
+	// MethodSplit is fixed-effort splitting over time levels.
+	MethodSplit Method = "split"
+	// MethodExact labels results that needed no simulation (deadline inside
+	// the deterministic offset, or an analytic fallback upstream).
+	MethodExact Method = "exact"
+)
+
+// Bounds on the estimator configuration. They keep a hostile or fuzzed
+// options value from demanding unbounded work, and the tilt cap keeps
+// e^{±β} comfortably inside double range.
+const (
+	// DefaultReps is the replication budget substituted for Reps = 0
+	// (per-level effort for splitting).
+	DefaultReps = 50_000
+	// MaxReps bounds the replication budget.
+	MaxReps = 100_000_000
+	// MaxTilt bounds the exponential tilt β.
+	MaxTilt = 30.0
+	// MaxSplits bounds the splitting level count.
+	MaxSplits = 64
+)
+
+// Options tunes one estimate. The zero value means: auto-routed method,
+// default budget, pilot-selected tilt and level count, no target, no
+// control variate, seed 0, all CPUs.
+type Options struct {
+	// Method picks the estimator; empty means MethodAuto.
+	Method Method
+	// Reps is the replication budget (splitting: per-level effort);
+	// 0 means DefaultReps.
+	Reps int
+	// Tilt forces the importance-sampling strength β > 0 for MethodIS — the
+	// symmetric exponential tilt for reset-structured specs, the
+	// per-component mute strength for the mixture on pure-progress specs;
+	// 0 selects the defensive mixture with adaptive strengths.
+	Tilt float64
+	// Splits forces the level count for MethodSplit; 0 selects it from the
+	// pilot estimate.
+	Splits int
+	// Target is the relative 95% CI half-width the caller wants (e.g. 0.1
+	// for ±10%); 0 disables the verdict. Run never loops to chase the
+	// target — it reports whether the budget met it (Estimate.MetTarget).
+	Target float64
+	// CtrlDeadline and CtrlProb enable the control variate: the exact
+	// probability P(T > CtrlDeadline) at a shallower deadline, typically
+	// from a discipline's analytic Price. Both zero disables it.
+	CtrlDeadline float64
+	CtrlProb     float64
+	// Seed pins every substream; distinct estimators must use distinct
+	// seeds.
+	Seed int64
+	// Workers is the worker-pool size (0 = all CPUs); never changes results.
+	Workers int
+}
+
+// Normalize validates the options and applies defaults. It never panics,
+// whatever the input — the fuzz target in this package pins that down — and
+// the returned options always describe a bounded, runnable configuration.
+func (o Options) Normalize() (Options, error) {
+	switch o.Method {
+	case "":
+		o.Method = MethodAuto
+	case MethodAuto, MethodMC, MethodIS, MethodSplit:
+	default:
+		return o, fmt.Errorf("rare: unknown method %q (want auto, mc, is or split)", o.Method)
+	}
+	if o.Reps < 0 || o.Reps > MaxReps {
+		return o, fmt.Errorf("rare: reps = %d must be in [0, %d]", o.Reps, MaxReps)
+	}
+	if o.Reps == 0 {
+		o.Reps = DefaultReps
+	}
+	if o.Reps < 2 {
+		return o, fmt.Errorf("rare: reps = %d must be ≥ 2", o.Reps)
+	}
+	if math.IsNaN(o.Tilt) || o.Tilt < 0 || o.Tilt > MaxTilt {
+		return o, fmt.Errorf("rare: tilt = %v must be in [0, %v]", o.Tilt, MaxTilt)
+	}
+	if o.Splits < 0 || o.Splits > MaxSplits {
+		return o, fmt.Errorf("rare: splits = %d must be in [0, %d]", o.Splits, MaxSplits)
+	}
+	if math.IsNaN(o.Target) || math.IsInf(o.Target, 0) || o.Target < 0 {
+		return o, fmt.Errorf("rare: target = %v must be nonnegative and finite", o.Target)
+	}
+	if math.IsNaN(o.CtrlDeadline) || math.IsInf(o.CtrlDeadline, 0) || o.CtrlDeadline < 0 {
+		return o, fmt.Errorf("rare: control deadline = %v must be nonnegative and finite", o.CtrlDeadline)
+	}
+	if math.IsNaN(o.CtrlProb) || o.CtrlProb < 0 || o.CtrlProb > 1 {
+		return o, fmt.Errorf("rare: control probability = %v must be in [0, 1]", o.CtrlProb)
+	}
+	if (o.CtrlDeadline > 0) != (o.CtrlProb > 0) {
+		return o, fmt.Errorf("rare: control variate needs both CtrlDeadline and CtrlProb (got %v, %v)", o.CtrlDeadline, o.CtrlProb)
+	}
+	return o, nil
+}
+
+// Estimate is the result of one rare-event run.
+type Estimate struct {
+	// Prob is the final point estimate in [0, 1] (control-variate-adjusted
+	// when the control was enabled and informative).
+	Prob float64 `json:"prob"`
+	// StdErr is the standard error of Prob.
+	StdErr float64 `json:"std_err"`
+	// RelHW is the relative 95% CI half-width 1.96·StdErr/Prob (+Inf when
+	// Prob is zero).
+	RelHW float64 `json:"rel_hw"`
+	// Method is the estimator that produced the result (the routed one
+	// under MethodAuto).
+	Method Method `json:"method"`
+	// Tilt is the applied importance-sampling strength (MethodIS only):
+	// zero under the automatic defensive mixture, whose per-component
+	// strengths are adaptive; the caller's forced strength otherwise.
+	Tilt float64 `json:"tilt,omitempty"`
+	// TiltUp is the reset up-tilt of the sampling measure (forced
+	// exponential tilt on reset-structured specs only).
+	TiltUp float64 `json:"tilt_up,omitempty"`
+	// Splits is the level count (MethodSplit only).
+	Splits int `json:"splits,omitempty"`
+	// Reps is the number of replications actually spent in the main run
+	// (splitting: per-level effort × levels run), excluding pilots.
+	Reps int `json:"reps"`
+	// Hits counts the replications that survived the horizon and so carry
+	// positive weight (splitting: the last level's survivor count).
+	Hits int `json:"hits"`
+	// RawProb is the plain sample mean of the per-replication estimator
+	// before the control-variate adjustment and clamping.
+	RawProb float64 `json:"raw_prob"`
+	// MeanLR is the mean full-path likelihood ratio — an unbiased estimate
+	// of 1 under importance sampling, the standard sanity check on the
+	// change of measure (exactly 1 for plain MC).
+	MeanLR float64 `json:"mean_lr"`
+	// CVCoeff is the fitted control-variate coefficient (0 when disabled).
+	CVCoeff float64 `json:"cv_coeff,omitempty"`
+	// Levels holds the per-level conditional survival probabilities
+	// (MethodSplit only).
+	Levels []float64 `json:"levels,omitempty"`
+	// MetTarget reports whether RelHW met Options.Target (true when no
+	// target was set).
+	MetTarget bool `json:"met_target"`
+	// Note carries the router's reasoning and any degenerate-case remarks.
+	Note string `json:"note,omitempty"`
+
+	// W is the per-replication estimator's accumulator (the raw,
+	// pre-control moments; splitting synthesizes equivalent moments via
+	// stats.FromMoments) — what harnesses judge with their z-test policy.
+	W stats.Welford `json:"-"`
+	// LRW is the full-path likelihood-ratio accumulator (MethodIS/MethodMC).
+	LRW stats.Welford `json:"-"`
+}
+
+// relHW returns the relative 95% CI half-width for the estimate.
+func relHW(prob, se float64) float64 {
+	if prob <= 0 {
+		return math.Inf(1)
+	}
+	return 1.96 * se / prob
+}
+
+// meetsTarget reports whether the half-width satisfies the target (no
+// target always passes).
+func meetsTarget(rhw, target float64) bool {
+	return target <= 0 || rhw <= target
+}
+
+// Substream offsets separating the engine's estimators and pilots; each
+// draws from its own substream family so no two runs on the same seed share
+// randomness (the same discipline as internal/strategy's historical
+// offsets, in a range far from theirs).
+const (
+	seedOffMain     = 9_016_009
+	seedOffPilotMC  = 9_221_011
+	seedOffTiltBase = 9_434_023
+	seedOffSplit    = 9_700_003
+	seedOffSplitLvl = 733_331
+)
+
+// pilot sizing: cheap relative to any production budget, large enough to
+// count hits and gauge magnitudes stably.
+const (
+	pilotMCReps   = 4096
+	pilotTiltReps = 1024
+	// autoMCHits is the pilot hit count past which plain MC is declared
+	// adequate: ≥ 50 hits at pilot size projects a usable relative error at
+	// production size without any reweighting machinery.
+	autoMCHits = 50
+)
+
+// Run estimates P(T > deadline) for the spec's experiment. The method is
+// opt.Method, with MethodAuto routed from a pilot run; every simulation is
+// sharded over internal/mc with substreams derived from opt.Seed, so the
+// result is bit-identical for every worker count.
+func Run(spec Spec, deadline float64, opt Options) (Estimate, error) {
+	opt, err := opt.Normalize()
+	if err != nil {
+		return Estimate{}, err
+	}
+	if err := spec.validate(); err != nil {
+		return Estimate{}, err
+	}
+	if math.IsNaN(deadline) || math.IsInf(deadline, 0) || deadline < 0 {
+		return Estimate{}, fmt.Errorf("rare: deadline = %v must be nonnegative and finite", deadline)
+	}
+	h := deadline - spec.Offset
+	if h <= 0 {
+		// The deterministic head start alone exceeds the deadline: the miss
+		// is certain, no simulation required.
+		return Estimate{
+			Prob: 1, Method: MethodExact, MetTarget: true,
+			MeanLR: 1,
+			Note:   "deadline inside the deterministic offset; miss probability is exactly 1",
+		}, nil
+	}
+	if opt.CtrlProb > 0 && (opt.CtrlDeadline <= spec.Offset || opt.CtrlDeadline >= deadline) {
+		return Estimate{}, fmt.Errorf("rare: control deadline %v must lie strictly between the offset %v and the deadline %v",
+			opt.CtrlDeadline, spec.Offset, deadline)
+	}
+
+	switch opt.Method {
+	case MethodMC:
+		est := estimateIS(spec, h, spec.Rates, opt, opt.Seed+seedOffMain)
+		est.Method = MethodMC
+		est.MetTarget = meetsTarget(est.RelHW, opt.Target)
+		return est, nil
+	case MethodIS:
+		plan := forcedPlan(spec, opt)
+		if opt.Tilt == 0 {
+			plan = planIS(spec, h, opt)
+		}
+		est := runPlan(spec, h, plan, opt, opt.Seed+seedOffMain)
+		est.Note = plan.note
+		est.MetTarget = meetsTarget(est.RelHW, opt.Target)
+		return est, nil
+	case MethodSplit:
+		levels := opt.Splits
+		note := ""
+		if levels == 0 {
+			levels, note = pickSplits(spec, h, opt)
+		}
+		est := estimateSplit(spec, h, levels, opt)
+		est.Note = joinNotes(note, est.Note)
+		est.MetTarget = meetsTarget(est.RelHW, opt.Target)
+		return est, nil
+	default: // MethodAuto
+		return route(spec, h, opt)
+	}
+}
+
+// route is the MethodAuto pilot logic: plain MC if the event is not
+// actually rare; splitting for reset-structured specs; otherwise the
+// defensive mixture, with splitting as the fallback when the mixture pilot
+// yields no usable estimate.
+func route(spec Spec, h float64, opt Options) (Estimate, error) {
+	pilotOpt := opt
+	pilotOpt.Reps = min(pilotMCReps, opt.Reps)
+	pilotOpt.CtrlDeadline, pilotOpt.CtrlProb = 0, 0
+	pilot := estimateIS(spec, h, spec.Rates, pilotOpt, opt.Seed+seedOffPilotMC)
+	hits := int(math.Round(pilot.RawProb * float64(pilot.W.N())))
+	if hits >= autoMCHits {
+		est := estimateIS(spec, h, spec.Rates, opt, opt.Seed+seedOffMain)
+		est.Method = MethodMC
+		est.Note = fmt.Sprintf("auto: plain MC (pilot saw %d hits in %d reps)", hits, pilot.W.N())
+		est.MetTarget = meetsTarget(est.RelHW, opt.Target)
+		return est, nil
+	}
+	if spec.hasReset() {
+		// Reset-structured specs (the asynchronous chain) go straight to
+		// splitting: their tail is governed by the chain's quasi-stationary
+		// mode, a state-dependent drift no constant-rate change of measure
+		// represents faithfully — every importance-sampling scheme tried
+		// here (uniform tilts, pilot-scanned tilt ladders, defensive
+		// mixtures over mild tilts) left seed-dependent downward outliers of
+		// many standard errors at depth. Level restarts reweight nothing,
+		// so splitting has no silent-bias failure mode on these chains.
+		levels, lvlNote := pickSplits(spec, h, opt)
+		est := estimateSplit(spec, h, levels, opt)
+		est.Note = joinNotes(fmt.Sprintf("auto: splitting (MC pilot saw %d hits in %d reps; reset-structured spec); %s",
+			hits, pilot.W.N(), lvlNote), est.Note)
+		est.MetTarget = meetsTarget(est.RelHW, opt.Target)
+		return est, nil
+	}
+	plan := planIS(spec, h, opt)
+	if plan.hits == 0 {
+		levels, lvlNote := pickSplits(spec, h, opt)
+		est := estimateSplit(spec, h, levels, opt)
+		est.Note = joinNotes(fmt.Sprintf("auto: splitting (MC pilot saw %d hits, no usable mixture pilot estimate); %s", hits, lvlNote), est.Note)
+		est.MetTarget = meetsTarget(est.RelHW, opt.Target)
+		return est, nil
+	}
+	est := runPlan(spec, h, plan, opt, opt.Seed+seedOffMain)
+	est.Note = joinNotes(fmt.Sprintf("auto: importance sampling (MC pilot saw %d hits in %d reps)", hits, pilot.W.N()), plan.note)
+	est.MetTarget = meetsTarget(est.RelHW, opt.Target)
+	return est, nil
+}
+
+// isPlan is a resolved importance-sampling configuration: down = 0 is the
+// automatic defensive mixture; down > 0 forces the strength — the symmetric
+// exponential tilt (down, up) on reset-structured specs, the mixture's mute
+// strength on pure-progress ones.
+type isPlan struct {
+	down, up float64
+	hits     int // the plan's pilot hit count (−1 when no pilot ran)
+	note     string
+}
+
+// forcedPlan turns a caller-forced Options.Tilt into a plan: the symmetric
+// tilt (resets up by the same β) for reset-structured specs, the mixture
+// strength otherwise.
+func forcedPlan(spec Spec, opt Options) isPlan {
+	if spec.hasReset() {
+		return isPlan{down: opt.Tilt, up: opt.Tilt, hits: -1,
+			note: fmt.Sprintf("exponential tilt at forced strength %g", opt.Tilt)}
+	}
+	return isPlan{down: opt.Tilt, hits: -1,
+		note: fmt.Sprintf("mute mixture at forced strength %g", opt.Tilt)}
+}
+
+// runPlan executes the importance-sampling estimator the plan describes,
+// filling in the method and strength fields.
+func runPlan(spec Spec, h float64, plan isPlan, opt Options, seed int64) Estimate {
+	var est Estimate
+	if spec.hasReset() && plan.down > 0 {
+		est = estimateIS(spec, h, spec.tilted(plan.down, plan.up), opt, seed)
+		est.TiltUp = plan.up
+	} else {
+		est = estimateMix(spec, h, plan.down, opt, seed)
+	}
+	est.Method = MethodIS
+	est.Tilt = plan.down
+	return est
+}
+
+// joinNotes concatenates two optional notes with "; ".
+func joinNotes(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "; " + b
+}
+
+// planIS chooses the importance-sampling configuration for the spec. A
+// caller-forced strength is piloted once, just for the hit count the
+// auto-router needs. Otherwise the plan is always the defensive mixture —
+// its weight bound holds whichever mode dominates the tail, so there is
+// nothing to scan; a pilot run supplies the hit count. (An earlier design
+// scanned a ladder of exponential tilts for reset-structured specs and
+// picked by pilot second moment; it was seed-unstable — a fooled candidate
+// whose small pilot misses the heavy weight tail looks best precisely when
+// it is worst, and on the asynchronous chain the selected measures were
+// biased low by many standard errors. The mixture needs no such contest.)
+// A plan whose pilot yields no usable estimate — zero hits, or weights that
+// underflow to a zero mean at abyssal depth — reports zero hits so the
+// auto-router falls through to splitting.
+func planIS(spec Spec, h float64, opt Options) isPlan {
+	pilotOpt := opt
+	pilotOpt.Reps = min(pilotTiltReps, opt.Reps)
+	pilotOpt.CtrlDeadline, pilotOpt.CtrlProb = 0, 0
+	if opt.Tilt > 0 {
+		plan := forcedPlan(spec, opt)
+		plan.hits = runPlan(spec, h, plan, pilotOpt, opt.Seed+seedOffTiltBase).Hits
+		return plan
+	}
+	est := estimateMix(spec, h, 0, pilotOpt, opt.Seed+seedOffTiltBase)
+	hits := est.Hits
+	if !(est.W.Mean() > 0) {
+		hits = 0
+	}
+	return isPlan{hits: hits,
+		note: fmt.Sprintf("defensive mixture at adaptive per-component strengths (pilot hits %d in %d reps)",
+			est.Hits, pilotOpt.Reps)}
+}
+
+// pickSplits chooses the level count from a pilot tail estimate: levels of
+// conditional survival probability around e^{−2} each balance per-level
+// effort against product length. With no usable pilot estimate it falls
+// back to a fixed mid-depth ladder.
+func pickSplits(spec Spec, h float64, opt Options) (int, string) {
+	pilotOpt := opt
+	pilotOpt.Reps = min(pilotTiltReps, opt.Reps)
+	pilotOpt.CtrlDeadline, pilotOpt.CtrlProb = 0, 0
+	// The mixture pilot gives a rough magnitude whatever the spec's structure.
+	est := estimateMix(spec, h, 0, pilotOpt, opt.Seed+seedOffTiltBase)
+	p := est.RawProb
+	if p <= 0 || p >= 1 {
+		return 8, "splits 8 (no usable pilot estimate)"
+	}
+	levels := int(math.Round(-math.Log(p) / 2))
+	levels = max(2, min(levels, MaxSplits))
+	return levels, fmt.Sprintf("splits %d from pilot estimate %.3g", levels, p)
+}

@@ -1,0 +1,420 @@
+package rare
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"recoveryblocks/internal/dist"
+)
+
+// firstFireWalk absorbs once every category has fired at least once: the
+// embedded chain of T = max_i Exp(rate_i), whose tail 1 − MaxExpCDF is in
+// closed form — the oracle for every estimator test here. With n = 1 it
+// absorbs on the first event, giving the pure exponential tail e^{−μh}.
+type firstFireWalk struct{ n int }
+
+func (w firstFireWalk) Start() int { return 0 }
+
+func (w firstFireWalk) Next(s, k int) (int, bool) {
+	ns := s | 1<<k
+	return ns, ns == 1<<w.n-1
+}
+
+func uniformSpec(n int, mu float64) Spec {
+	rates := make([]float64, n)
+	for i := range rates {
+		rates[i] = mu
+	}
+	return Spec{Rates: rates, Walk: firstFireWalk{n: n}}
+}
+
+func maxExpTail(mu []float64, h float64) float64 { return 1 - dist.MaxExpCDF(mu, h) }
+
+func TestPlainMCMatchesExponentialTail(t *testing.T) {
+	// n = 1: P(T > h) = e^{−μh}; a moderate tail plain MC can see.
+	spec := uniformSpec(1, 1)
+	h := 3.0
+	want := math.Exp(-h)
+	est, err := Run(spec, h, Options{Method: MethodMC, Reps: 40000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != MethodMC {
+		t.Fatalf("method = %q, want mc", est.Method)
+	}
+	if est.MeanLR != 1 {
+		t.Errorf("plain MC mean likelihood ratio = %v, want exactly 1", est.MeanLR)
+	}
+	// The weighted mean of unit weights is the hit fraction up to streaming
+	// round-off.
+	if got := float64(est.Hits) / float64(est.Reps); math.Abs(got-est.RawProb) > 1e-12 {
+		t.Errorf("MC estimate %v is not the hit fraction %v", est.RawProb, got)
+	}
+	if z := math.Abs(est.Prob-want) / est.StdErr; z > 4.5 {
+		t.Errorf("MC estimate %v vs exact %v: z = %.2f", est.Prob, want, z)
+	}
+}
+
+func TestImportanceSamplingDeepTail(t *testing.T) {
+	// n = 3 at h = 14: p ≈ 3e^{−14} ≈ 2.5e−6 — far beyond any plain-MC
+	// budget used in tests, routine for the mute-mixture estimator (the
+	// scheme MethodIS selects for this pure-progress spec).
+	spec := uniformSpec(3, 1)
+	h := 14.0
+	want := maxExpTail([]float64{1, 1, 1}, h)
+	est, err := Run(spec, h, Options{Method: MethodIS, Reps: 30000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != MethodIS || est.Tilt != 0 {
+		t.Fatalf("method = %q tilt = %v, want IS at the adaptive mixture schedule (reported tilt 0)", est.Method, est.Tilt)
+	}
+	if !strings.Contains(est.Note, "adaptive") {
+		t.Fatalf("note %q does not mention the adaptive schedule", est.Note)
+	}
+	if est.StdErr <= 0 {
+		t.Fatalf("IS estimate has no spread: %+v", est)
+	}
+	if z := math.Abs(est.Prob-want) / est.StdErr; z > 4.5 {
+		t.Errorf("IS estimate %v vs exact %v: z = %.2f", est.Prob, want, z)
+	}
+	// The mixture's weight bound keeps the relative error tiny at a budget
+	// where plain MC would essentially never see the event.
+	if est.RelHW > 0.05 {
+		t.Errorf("IS relative half-width %v is far above the mixture's variance bound", est.RelHW)
+	}
+}
+
+func TestForcedStrengthIsUnbiased(t *testing.T) {
+	// Moderate forced mixture strengths on the union-structured walk: the
+	// weights are spread out (the slowed category still fires), but the
+	// estimator must stay unbiased at every strength.
+	spec := uniformSpec(2, 1.5)
+	h := 6.0
+	want := maxExpTail([]float64{1.5, 1.5}, h)
+	for _, beta := range []float64{1, 2, 3} {
+		est, err := Run(spec, h, Options{Method: MethodIS, Tilt: beta, Reps: 30000, Seed: 13})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Tilt != beta {
+			t.Fatalf("tilt = %v, want forced %v", est.Tilt, beta)
+		}
+		if z := math.Abs(est.Prob-want) / est.StdErr; z > 4.5 {
+			t.Errorf("strength %v: estimate %v vs exact %v: z = %.2f", beta, est.Prob, want, z)
+		}
+	}
+}
+
+func TestMeanLRSanity(t *testing.T) {
+	// The full-path likelihood ratio has expectation exactly 1 under the
+	// sampling measure. The diagnostic only has power when the sampler
+	// still visits both outcomes, so pin it at a moderate strength where
+	// absorptions are common.
+	spec := uniformSpec(2, 1)
+	est, err := Run(spec, 5, Options{Method: MethodIS, Tilt: 1, Reps: 40000, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrw := est.LRW
+	if lrw.StdErr() <= 0 {
+		t.Fatalf("mean-LR accumulator has no spread: %+v", est)
+	}
+	if z := math.Abs(est.MeanLR-1) / lrw.StdErr(); z > 6 {
+		t.Errorf("mean LR = %v (SE %v): z = %.2f vs 1", est.MeanLR, lrw.StdErr(), z)
+	}
+}
+
+// resetWalk is a minimal reset-structured chain: category 0 is the single
+// recovery-progress stream (absorbing on fire), category 1 a rollback-
+// propagation stream that does nothing — enough to exercise the
+// exponential-tilt scheme and the splitting fallback.
+type resetWalk struct{}
+
+func (resetWalk) Start() int                { return 0 }
+func (resetWalk) Next(s, k int) (int, bool) { return s, k == 0 }
+
+func resetSpec() Spec {
+	return Spec{Rates: []float64{1, 0.5}, Reset: []bool{false, true}, Walk: resetWalk{}}
+}
+
+func TestMixtureOnResetSpec(t *testing.T) {
+	// P(T > h) = e^{−h} regardless of the no-op reset stream; the
+	// defensive mixture (mute + boost + nominal components on a
+	// reset-structured spec) must reproduce it, reaching depths plain MC
+	// cannot.
+	h := 16.0
+	want := math.Exp(-h)
+	est, err := Run(resetSpec(), h, Options{Method: MethodIS, Reps: 30000, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Tilt != 0 || !strings.Contains(est.Note, "mixture") {
+		t.Fatalf("want the adaptive defensive mixture, got: %+v", est)
+	}
+	if est.StdErr <= 0 || est.Prob <= 0 {
+		t.Fatalf("mixture estimate degenerate: %+v", est)
+	}
+	if z := math.Abs(est.Prob-want) / est.StdErr; z > 4.5 {
+		t.Errorf("mixture estimate %v vs exact %v: z = %.2f", est.Prob, want, z)
+	}
+}
+
+func TestZeroVarianceAtOptimalChangeOfMeasure(t *testing.T) {
+	// n = 1: the event {T > h} is exactly {no event before h}, so the
+	// change of measure that fires nothing is optimal: every replication
+	// returns the constant e^{−μh} and the estimator variance is zero.
+	mu, h := 0.8, 4.0
+	spec := uniformSpec(1, mu)
+	opt, err := Options{Reps: 5000, Seed: 3}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := estimateIS(spec, h, []float64{0}, opt, opt.Seed)
+	want := math.Exp(-mu * h)
+	if math.Abs(est.Prob-want) > 1e-15 {
+		t.Errorf("zero-variance estimate %v, want exactly %v", est.Prob, want)
+	}
+	if v := est.W.Variance(); v != 0 {
+		t.Errorf("estimator variance = %v, want exactly 0", v)
+	}
+	if est.StdErr != 0 || est.RelHW != 0 {
+		t.Errorf("zero-variance run reports spread: SE %v, relHW %v", est.StdErr, est.RelHW)
+	}
+}
+
+func TestSplittingDeepTail(t *testing.T) {
+	spec := uniformSpec(3, 1)
+	h := 10.0
+	want := maxExpTail([]float64{1, 1, 1}, h)
+	est, err := Run(spec, h, Options{Method: MethodSplit, Splits: 5, Reps: 8000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != MethodSplit || est.Splits != 5 || len(est.Levels) != 5 {
+		t.Fatalf("unexpected splitting shape: %+v", est)
+	}
+	if est.Reps != 5*8000 {
+		t.Errorf("reps = %d, want per-level effort × levels", est.Reps)
+	}
+	for _, p := range est.Levels {
+		if p <= 0 || p > 1 {
+			t.Fatalf("level probability %v outside (0, 1]", p)
+		}
+	}
+	if z := math.Abs(est.Prob-want) / est.StdErr; z > 5 {
+		t.Errorf("splitting estimate %v vs exact %v: z = %.2f (SE %v)", est.Prob, want, z, est.StdErr)
+	}
+}
+
+func TestEstimatesStayInUnitInterval(t *testing.T) {
+	spec := uniformSpec(2, 1)
+	for _, opt := range []Options{
+		{Method: MethodMC, Reps: 2000, Seed: 1},
+		{Method: MethodIS, Tilt: 6, Reps: 2000, Seed: 2},  // grossly over-tilted
+		{Method: MethodIS, Tilt: 0.1, Reps: 500, Seed: 3}, // barely tilted
+		{Method: MethodSplit, Splits: 3, Reps: 500, Seed: 4},
+		{Method: MethodAuto, Reps: 2000, Seed: 5},
+	} {
+		for _, h := range []float64{0.1, 1, 5, 12} {
+			est, err := Run(spec, h, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if est.Prob < 0 || est.Prob > 1 || math.IsNaN(est.Prob) {
+				t.Errorf("method %v h %v: estimate %v outside [0, 1]", opt.Method, h, est.Prob)
+			}
+		}
+	}
+}
+
+func TestControlVariateKeepsMeanAndTightensSpread(t *testing.T) {
+	spec := uniformSpec(3, 1)
+	h := 8.0
+	mu := []float64{1, 1, 1}
+	want := maxExpTail(mu, h)
+	base := Options{Method: MethodIS, Tilt: 2, Reps: 40000, Seed: 19}
+	plain, err := Run(spec, h, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCV := base
+	withCV.CtrlDeadline = 5
+	withCV.CtrlProb = maxExpTail(mu, 5)
+	cv, err := Run(spec, h, withCV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cv.CVCoeff == 0 {
+		t.Fatal("control variate did not engage")
+	}
+	if z := math.Abs(cv.Prob-want) / cv.StdErr; z > 4.5 {
+		t.Errorf("CV estimate %v vs exact %v: z = %.2f", cv.Prob, want, z)
+	}
+	if cv.StdErr > plain.StdErr {
+		t.Errorf("control variate widened the spread: %v > %v", cv.StdErr, plain.StdErr)
+	}
+}
+
+func TestAutoRouterPicksByRegime(t *testing.T) {
+	spec := uniformSpec(3, 1)
+	shallow, err := Run(spec, 2, Options{Reps: 10000, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shallow.Method != MethodMC {
+		t.Errorf("shallow deadline routed to %q, want mc (note: %s)", shallow.Method, shallow.Note)
+	}
+	deep, err := Run(spec, 14, Options{Reps: 10000, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.Method != MethodIS {
+		t.Errorf("deep deadline routed to %q, want is (note: %s)", deep.Method, deep.Note)
+	}
+	// A horizon so extreme that no tilt candidate ever survives routes to
+	// splitting (which then reports the degenerate-depth note). The spec
+	// must be reset-structured: the mute-mixture on pure-progress specs
+	// always survives, so it never yields the floor to splitting.
+	abyss, err := Run(resetSpec(), 8000, Options{Reps: 500, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abyss.Method != MethodSplit {
+		t.Errorf("abyssal deadline routed to %q, want split (note: %s)", abyss.Method, abyss.Note)
+	}
+	if !strings.Contains(abyss.Note, "auto") {
+		t.Errorf("router note missing: %q", abyss.Note)
+	}
+}
+
+func TestDeadlineInsideOffsetIsExact(t *testing.T) {
+	spec := uniformSpec(2, 1)
+	spec.Offset = 3
+	est, err := Run(spec, 2.5, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != MethodExact || est.Prob != 1 || est.StdErr != 0 || !est.MetTarget {
+		t.Errorf("deadline inside offset: %+v", est)
+	}
+}
+
+func TestOffsetShiftsHorizon(t *testing.T) {
+	// With offset τ, P(T > d) = P(max > d − τ): the synchronized
+	// disciplines' shape.
+	mu := []float64{1, 1}
+	spec := uniformSpec(2, 1)
+	spec.Offset = 1.5
+	d := 7.5
+	want := maxExpTail(mu, d-spec.Offset)
+	est, err := Run(spec, d, Options{Method: MethodIS, Tilt: 2, Reps: 30000, Seed: 29})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z := math.Abs(est.Prob-want) / est.StdErr; z > 4.5 {
+		t.Errorf("offset estimate %v vs exact %v: z = %.2f", est.Prob, want, z)
+	}
+}
+
+func TestWorkerInvariance(t *testing.T) {
+	spec := uniformSpec(3, 1)
+	for _, opt := range []Options{
+		{Method: MethodMC, Reps: 6000, Seed: 31},
+		{Method: MethodIS, Reps: 6000, Seed: 31, CtrlDeadline: 4, CtrlProb: maxExpTail([]float64{1, 1, 1}, 4)},
+		{Method: MethodSplit, Reps: 3000, Seed: 31},
+		{Method: MethodAuto, Reps: 6000, Seed: 31},
+	} {
+		opt.Workers = 1
+		ref, err := Run(spec, 9, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{4, 16} {
+			opt.Workers = workers
+			got, err := Run(spec, 9, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("method %v: workers=%d result differs from workers=1:\n%+v\nvs\n%+v", opt.Method, workers, got, ref)
+			}
+		}
+	}
+}
+
+func TestTargetVerdict(t *testing.T) {
+	spec := uniformSpec(1, 1)
+	tight, err := Run(spec, 2, Options{Method: MethodMC, Reps: 50000, Target: 0.1, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tight.MetTarget {
+		t.Errorf("ample budget missed a loose target: relHW = %v", tight.RelHW)
+	}
+	starved, err := Run(spec, 9, Options{Method: MethodMC, Reps: 200, Target: 0.1, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if starved.MetTarget {
+		t.Errorf("starved budget claimed the target: relHW = %v", starved.RelHW)
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	def, err := Options{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.Method != MethodAuto || def.Reps != DefaultReps {
+		t.Errorf("zero-value defaults: %+v", def)
+	}
+	bad := []Options{
+		{Method: "magic"},
+		{Reps: -1},
+		{Reps: MaxReps + 1},
+		{Tilt: math.NaN()},
+		{Tilt: -1},
+		{Tilt: MaxTilt + 1},
+		{Splits: -2},
+		{Splits: MaxSplits + 1},
+		{Target: math.Inf(1)},
+		{Target: -0.5},
+		{CtrlDeadline: 3}, // control deadline without probability
+		{CtrlProb: 0.5},   // probability without deadline
+		{CtrlProb: 1.5, CtrlDeadline: 1},
+		{CtrlDeadline: math.NaN(), CtrlProb: 0.1},
+	}
+	for _, o := range bad {
+		if _, err := o.Normalize(); err == nil {
+			t.Errorf("Normalize accepted %+v", o)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	good := uniformSpec(2, 1)
+	cases := []struct {
+		name string
+		spec Spec
+		d    float64
+		opt  Options
+	}{
+		{"nil walk", Spec{Rates: []float64{1}}, 1, Options{}},
+		{"no categories", Spec{Walk: firstFireWalk{n: 1}}, 1, Options{}},
+		{"negative rate", Spec{Rates: []float64{-1}, Walk: firstFireWalk{n: 1}}, 1, Options{}},
+		{"zero total rate", Spec{Rates: []float64{0, 0}, Walk: firstFireWalk{n: 2}}, 1, Options{}},
+		{"reset shape", Spec{Rates: []float64{1}, Reset: []bool{true, false}, Walk: firstFireWalk{n: 1}}, 1, Options{}},
+		{"negative offset", Spec{Rates: []float64{1}, Offset: -1, Walk: firstFireWalk{n: 1}}, 1, Options{}},
+		{"NaN deadline", good, math.NaN(), Options{}},
+		{"control outside span", good, 5, Options{CtrlDeadline: 7, CtrlProb: 0.1}},
+		{"bad method", good, 5, Options{Method: "nope"}},
+	}
+	for _, c := range cases {
+		if _, err := Run(c.spec, c.d, c.opt); err == nil {
+			t.Errorf("%s: Run accepted bad input", c.name)
+		}
+	}
+}

@@ -23,6 +23,9 @@ import (
 //     the slow process that dominates E[Z] and the PRP rollback bound;
 //   - deadline-sweep: fixed dynamics, sweeping the deadline — where the
 //     advisor's ranking flips from throughput-driven to risk-driven;
+//   - deadline-tail: the same fixed dynamics with the deadlines pushed deep
+//     into the ≤ 1e−6 miss regime — the rows only the rare-event engine
+//     (RareSweep) can resolve, priced exactly all the way down;
 //   - random: a seeded sample of the whole parameter space — grid-free
 //     coverage, reproducible from its seed;
 //   - sync-every-k: the block-period sweep of the sync-every-k discipline,
@@ -70,7 +73,7 @@ type FamilySpec struct {
 
 // Families returns the built-in family names, in canonical order.
 func Families() []string {
-	return []string{"uniform", "hot-pair", "pipeline", "straggler", "deadline-sweep", "random", "sync-every-k"}
+	return []string{"uniform", "hot-pair", "pipeline", "straggler", "deadline-sweep", "deadline-tail", "random", "sync-every-k"}
 }
 
 // DefaultFamily returns the named family with its default parameters — the
@@ -135,6 +138,8 @@ func (f FamilySpec) Expand() ([]Scenario, error) {
 		specs, err = base.expandStraggler()
 	case "deadline-sweep":
 		specs, err = base.expandDeadlineSweep()
+	case "deadline-tail":
+		specs, err = base.expandDeadlineTail()
 	case "random":
 		specs, err = base.expandRandom()
 	case "sync-every-k":
@@ -345,6 +350,47 @@ func (f FamilySpec) expandDeadlineSweep() ([]ScenarioSpec, error) {
 	deadlines := f.Deadlines
 	if deadlines == nil {
 		deadlines = []float64{1, 2, 3, 4, 6}
+	}
+	var out []ScenarioSpec
+	for _, d := range deadlines {
+		if d <= 0 {
+			return nil, fmt.Errorf("deadline %v must be positive", d)
+		}
+		out = append(out, ScenarioSpec{
+			Name:     fmt.Sprintf("%s/n%d/d%s", f.Name, n, fnum(d)),
+			Mu:       f.uniformMu(n),
+			Rho:      rho,
+			Deadline: d,
+		})
+	}
+	return out, nil
+}
+
+// expandDeadlineTail is the deadline-sweep's rare-event sibling: the same
+// fixed dynamics with the deadlines pushed deep enough that the miss
+// probabilities fall through 1e−5 into the ≤ 1e−6 regime (at the defaults —
+// n = 3, μ = 1, ρ = 0.5 — the pseudo-recovery-point tail runs 1.8e−5,
+// 4.6e−8, 1.1e−10 and the asynchronous chain 3.9e−4, 4.8e−6, 5.4e−7). The
+// advisor's plain estimators see only zeros here; the rows are meant for
+// RareSweep, which prices them exactly and drives the variance-reduced
+// estimators against those answers. The interaction density defaults lower
+// than the sweep family's so the asynchronous tail decays visibly across
+// the grid rather than saturating.
+func (f FamilySpec) expandDeadlineTail() ([]ScenarioSpec, error) {
+	n := 3
+	if len(f.N) > 0 {
+		n = f.N[0]
+	}
+	if err := checkFamilyN("deadline-tail", n); err != nil {
+		return nil, err
+	}
+	rho := 0.5
+	if len(f.Rho) > 0 {
+		rho = f.Rho[0]
+	}
+	deadlines := f.Deadlines
+	if deadlines == nil {
+		deadlines = []float64{12, 18, 24}
 	}
 	var out []ScenarioSpec
 	for _, d := range deadlines {

@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"recoveryblocks/internal/mc"
+	"recoveryblocks/internal/rare"
+	"recoveryblocks/internal/strategy"
+)
+
+// RareRow is one scenario × strategy deadline-miss row of a rare sweep: the
+// exact analytic probability next to the variance-reduced estimate and the
+// target verdict.
+type RareRow struct {
+	Scenario string        `json:"scenario"`
+	Strategy Strategy      `json:"strategy"`
+	Deadline float64       `json:"deadline"`
+	Exact    float64       `json:"exact"` // analytic miss probability (−1: no metric)
+	Estimate rare.Estimate `json:"estimate"`
+}
+
+// RareReport is the outcome of a rare sweep — the artifact `rbrepro rare
+// -json` emits.
+type RareReport struct {
+	// Target echoes the requested relative CI half-width (0: none).
+	Target float64   `json:"target,omitempty"`
+	Rows   []RareRow `json:"rows"`
+	// Misses counts the rows whose estimate failed the target.
+	Misses int `json:"misses"`
+}
+
+// RareSweep runs the rare-event engine over every scenario × requested
+// strategy: each row carries the discipline's exact analytic miss
+// probability (from Price — the chain solve or closed form) beside the
+// variance-reduced estimate, so the sweep is its own overlap check wherever
+// the exact solvers answer. Scenarios need a positive deadline — the sweep
+// is about the deadline-miss tail. Applicability mirrors the grid's rare
+// check family: the asynchronous chain needs interacting processes, and
+// sync-every-k only prices on cells that opt into its period (its analytic
+// fallback row). Scenarios fan out across the internal/mc pool; fixed seeds
+// make the report bit-identical for every worker count.
+func RareSweep(scenarios []Scenario, opt rare.Options) (*RareReport, error) {
+	if len(scenarios) == 0 {
+		return nil, errors.New("scenario: empty rare sweep")
+	}
+	for i := range scenarios {
+		if err := scenarios[i].Validate(); err != nil {
+			return nil, err
+		}
+		if scenarios[i].Deadline <= 0 {
+			return nil, fmt.Errorf("scenario %q: rare sweep needs a positive deadline", scenarios[i].Name)
+		}
+	}
+	type out struct {
+		rows []RareRow
+		err  error
+	}
+	outs := mc.Map(scenarios, opt.Workers, func(_ int, sc Scenario) out {
+		tau := sc.SyncInterval
+		if sc.wants(StrategySync) || sc.wants(StrategySyncEveryK) {
+			var err error
+			tau, err = sc.ResolveSyncInterval()
+			if err != nil {
+				return out{err: err}
+			}
+		}
+		w := sc.workload()
+		w.SyncInterval = tau
+		w.OptimalSync = false
+		var rows []RareRow
+		for _, impl := range strategy.All() {
+			if !sc.wants(Strategy(impl.Name())) {
+				continue
+			}
+			switch impl.Name() {
+			case strategy.Async:
+				if w.N() < 2 || !w.HasInteractions() {
+					continue
+				}
+			case strategy.SyncEveryK:
+				if w.EveryK == 0 {
+					continue
+				}
+			}
+			m, err := impl.Price(w)
+			if err != nil {
+				return out{err: fmt.Errorf("scenario %q: %w", sc.Name, err)}
+			}
+			est, err := strategy.RareDeadline(impl, w, opt)
+			if err != nil {
+				return out{err: fmt.Errorf("scenario %q: %w", sc.Name, err)}
+			}
+			rows = append(rows, RareRow{
+				Scenario: sc.Name,
+				Strategy: Strategy(impl.Name()),
+				Deadline: w.Deadline,
+				Exact:    m.DeadlineMissProb,
+				Estimate: est,
+			})
+		}
+		return out{rows: rows}
+	})
+	rep := &RareReport{Target: opt.Target}
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		for _, r := range o.rows {
+			if !r.Estimate.MetTarget {
+				rep.Misses++
+			}
+			rep.Rows = append(rep.Rows, r)
+		}
+	}
+	return rep, nil
+}
+
+// JSON renders the machine-readable sweep.
+func (r *RareReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Format renders the human-readable sweep: one row per scenario × strategy
+// with the exact reference, the estimate with its relative precision, and
+// the method the router chose.
+func (r *RareReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Rare-event sweep: %d row(s)", len(r.Rows))
+	if r.Target > 0 {
+		fmt.Fprintf(&b, ", target rel. half-width %g", r.Target)
+	}
+	b.WriteString("\n")
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tstrategy\tdeadline\texact P(miss)\testimate\trel.hw\tmethod\treps\tverdict")
+	for _, row := range r.Rows {
+		exact := "-"
+		if row.Exact >= 0 {
+			exact = fmt.Sprintf("%.6g", row.Exact)
+		}
+		verdict := "ok"
+		if !row.Estimate.MetTarget {
+			verdict = "MISSED TARGET"
+		}
+		fmt.Fprintf(w, "%s\t%s\t%.4g\t%s\t%.6g\t%.3g\t%s\t%d\t%s\n",
+			row.Scenario, row.Strategy, row.Deadline, exact,
+			row.Estimate.Prob, row.Estimate.RelHW, row.Estimate.Method, row.Estimate.Reps, verdict)
+	}
+	w.Flush()
+	if r.Misses > 0 {
+		fmt.Fprintf(&b, "%d row(s) MISSED the precision target — raise -reps or drop -target\n", r.Misses)
+	}
+	return b.String()
+}

@@ -1,0 +1,156 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"recoveryblocks/internal/rare"
+)
+
+// tailFamily expands the deadline-tail defaults once for the tests here.
+func tailFamily(t *testing.T) []Scenario {
+	t.Helper()
+	f, err := DefaultFamily("deadline-tail", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := f.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scs
+}
+
+func TestDeadlineTailReachesRareRegime(t *testing.T) {
+	scs := tailFamily(t)
+	if len(scs) != 3 {
+		t.Fatalf("deadline-tail default grid has %d cells, want 3", len(scs))
+	}
+	deepest := scs[len(scs)-1]
+	if deepest.Deadline < 24 {
+		t.Fatalf("deepest default deadline %v does not reach the tail", deepest.Deadline)
+	}
+	// The deepest cell must actually sit in the ≤ 1e−6 regime for at least
+	// one discipline — that is what the family exists for.
+	rep, err := RareSweep([]Scenario{deepest}, rare.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inRegime := false
+	for _, row := range rep.Rows {
+		if row.Exact > 0 && row.Exact <= 1e-6 {
+			inRegime = true
+		}
+	}
+	if !inRegime {
+		t.Fatalf("no row of the deepest cell has an exact miss probability ≤ 1e−6: %+v", rep.Rows)
+	}
+}
+
+// TestRareSweepAgreesWithExact: every sweep row with an exact reference and
+// a statistical estimate must agree within 5 standard errors — the sweep is
+// its own overlap check.
+func TestRareSweepAgreesWithExact(t *testing.T) {
+	rep, err := RareSweep(tailFamily(t), rare.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 6 {
+		t.Fatalf("sweep produced only %d rows", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		est := row.Estimate
+		if row.Exact < 0 || est.Method == rare.MethodExact {
+			continue
+		}
+		if est.StdErr <= 0 {
+			t.Errorf("%s/%s: degenerate estimate (prob %v, method %s)", row.Scenario, row.Strategy, est.Prob, est.Method)
+			continue
+		}
+		if z := math.Abs(est.Prob-row.Exact) / est.StdErr; z > 5 {
+			t.Errorf("%s/%s: estimate %v vs exact %v, z = %.1f (method %s)",
+				row.Scenario, row.Strategy, est.Prob, row.Exact, z, est.Method)
+		}
+	}
+}
+
+func TestRareSweepTargetVerdicts(t *testing.T) {
+	scs := tailFamily(t)[:1]
+	// A generous target is met; an absurd one is reported missed, not erred.
+	loose, err := RareSweep(scs, rare.Options{Target: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Misses != 0 {
+		t.Fatalf("loose target missed %d rows: %s", loose.Misses, loose.Format())
+	}
+	tight, err := RareSweep(scs, rare.Options{Target: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Misses == 0 {
+		t.Fatal("impossible precision target reported as met")
+	}
+	if !strings.Contains(tight.Format(), "MISSED TARGET") {
+		t.Fatal("Format does not flag the missed target")
+	}
+}
+
+func TestRareSweepWorkerCountInvariance(t *testing.T) {
+	scs := tailFamily(t)[:1]
+	a, err := RareSweep(scs, rare.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RareSweep(scs, rare.Options{Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("rare sweep differs between worker counts")
+	}
+}
+
+func TestRareSweepRejects(t *testing.T) {
+	if _, err := RareSweep(nil, rare.Options{}); err == nil {
+		t.Fatal("empty sweep accepted")
+	}
+	sc := Scenario{Name: "no-deadline", Mu: []float64{1, 1}, Lambda: [][]float64{{0, 0.5}, {0.5, 0}},
+		SyncInterval: 1, ErrorRate: 0.05, Reps: 1000, Seed: 7,
+		Strategies: []Strategy{StrategyPRP}}
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("fixture scenario invalid: %v", err)
+	}
+	if _, err := RareSweep([]Scenario{sc}, rare.Options{}); err == nil {
+		t.Fatal("deadline-free scenario accepted by the rare sweep")
+	}
+}
+
+func TestRareReportJSONRoundTrips(t *testing.T) {
+	rep, err := RareSweep(tailFamily(t)[:1], rare.Options{Target: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RareReport
+	if err := json.Unmarshal(j, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(rep.Rows) || back.Target != rep.Target {
+		t.Fatalf("round trip lost rows or target: %+v", back)
+	}
+}

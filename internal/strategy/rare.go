@@ -1,0 +1,190 @@
+package strategy
+
+import (
+	"fmt"
+
+	"recoveryblocks/internal/rare"
+)
+
+// Seed offsets separating the rare-event estimators of one workload by
+// strategy, in a range far from both the historical estimator offsets above
+// and the rare engine's internal pilot offsets.
+const (
+	seedOffRareAsync = 10_111_001
+	seedOffRareSync  = 10_222_003
+	seedOffRarePRP   = 10_333_007
+	seedOffRareOther = 10_444_009
+)
+
+// rareSeedOffset returns the per-strategy substream base offset for
+// RareDeadline runs.
+func rareSeedOffset(n Name) int64 {
+	switch n {
+	case Async:
+		return seedOffRareAsync
+	case Sync:
+		return seedOffRareSync
+	case PRP:
+		return seedOffRarePRP
+	}
+	return seedOffRareOther
+}
+
+// RareSimulator is the optional registry capability for variance-reduced
+// deadline-miss estimation: a discipline that can express its deadline
+// experiment as a constant-rate jump chain returns the rare.Spec describing
+// it, and RareDeadline drives the importance-sampling/splitting engine over
+// it. Disciplines without the capability (sync-every-k, whose miss metric
+// is a closed form over Erlang maxima) fall back to their analytic Price —
+// graceful degradation, not an error. Like Model and Simulate, RareSpec
+// expects the caller to have resolved SyncInterval.
+type RareSimulator interface {
+	RareSpec(w Workload) (rare.Spec, error)
+}
+
+// RareDeadline estimates the deadline-miss probability P(T > w.Deadline)
+// for one strategy with the rare-event engine. Seeds and workers come from
+// the workload (each strategy on its own substream family); when the caller
+// has not configured a control variate, one is wired automatically — the
+// analytic miss probability at the midpoint deadline, from the strategy's
+// own Price — whenever that shallower probability is informative.
+// Strategies without the RareSimulator capability return their analytic
+// miss probability as a zero-spread estimate labeled rare.MethodExact.
+func RareDeadline(st Strategy, w Workload, opt rare.Options) (rare.Estimate, error) {
+	if w.Deadline <= 0 {
+		return rare.Estimate{}, fmt.Errorf("strategy %s: rare-event estimation needs a positive deadline", st.Name())
+	}
+	if err := st.Validate(w); err != nil {
+		return rare.Estimate{}, err
+	}
+	rs, ok := st.(RareSimulator)
+	if !ok {
+		m, err := st.Price(w)
+		if err != nil {
+			return rare.Estimate{}, err
+		}
+		if m.DeadlineMissProb < 0 {
+			return rare.Estimate{}, fmt.Errorf("strategy %s: no deadline-miss metric for this workload", st.Name())
+		}
+		return rare.Estimate{
+			Prob:      m.DeadlineMissProb,
+			Method:    rare.MethodExact,
+			MeanLR:    1,
+			MetTarget: true,
+			Note:      fmt.Sprintf("strategy %s has no rare-event simulator; analytic deadline-miss probability", st.Name()),
+		}, nil
+	}
+	spec, err := rs.RareSpec(w)
+	if err != nil {
+		return rare.Estimate{}, err
+	}
+	opt.Seed = w.Seed + rareSeedOffset(st.Name())
+	opt.Workers = w.Workers
+	if opt.Reps == 0 && w.Reps > 0 {
+		opt.Reps = w.Reps
+	}
+	if opt.CtrlDeadline == 0 && opt.CtrlProb == 0 && w.Deadline > spec.Offset {
+		// Auto-wire the control variate: the strategy's own analytic miss
+		// probability at the midpoint deadline. Only an informative control
+		// (strictly inside (0, 1)) is worth the bookkeeping; a Price error
+		// here just means running without a control.
+		w0 := w
+		w0.Deadline = spec.Offset + (w.Deadline-spec.Offset)/2
+		if m, err := st.Price(w0); err == nil && m.DeadlineMissProb > 0 && m.DeadlineMissProb < 1 {
+			opt.CtrlDeadline, opt.CtrlProb = w0.Deadline, m.DeadlineMissProb
+		}
+	}
+	return rare.Run(spec, w.Deadline, opt)
+}
+
+// maxExpWalk is the embedded chain of T = max_i Exp(rate_i): category i is
+// process i's completion, and the chain absorbs once every process has
+// completed — the deadline experiment of both synchronized disciplines
+// (offset by the request interval) and pseudo recovery points.
+type maxExpWalk struct{ n int }
+
+func (w maxExpWalk) Start() int { return 0 }
+
+func (w maxExpWalk) Next(s, cat int) (int, bool) {
+	ns := s | 1<<cat
+	return ns, ns == 1<<w.n-1
+}
+
+// RareSpec (sync): the miss event is τ + Z > d with Z = max_i Exp(μ_i) —
+// the max-of-exponentials walk behind the deterministic offset τ.
+func (syncStrategy) RareSpec(w Workload) (rare.Spec, error) {
+	if err := validateRates(w.Mu); err != nil {
+		return rare.Spec{}, err
+	}
+	return rare.Spec{
+		Rates:  append([]float64(nil), w.Mu...),
+		Walk:   maxExpWalk{n: w.N()},
+		Offset: w.SyncInterval,
+	}, nil
+}
+
+// RareSpec (prp): the rollback bound is max_i y_i with y_i ~ Exp(μ_i) —
+// the max-of-exponentials walk with no offset.
+func (prpStrategy) RareSpec(w Workload) (rare.Spec, error) {
+	if err := validateRates(w.Mu); err != nil {
+		return rare.Spec{}, err
+	}
+	return rare.Spec{
+		Rates: append([]float64(nil), w.Mu...),
+		Walk:  maxExpWalk{n: w.N()},
+	}, nil
+}
+
+// asyncRareWalk is the embedded jump chain of the Section 2 recovery-line
+// interval X, state-for-state the event process of sim.SimulateAsync: the
+// state packs the last-action mask (bit i set when process i's most recent
+// event is a recovery point) with an at-line bit; category cat's mask
+// update is (mask | or[cat]) &^ and[cat]; and a recovery-point event
+// absorbs by entry rule R4 (any RP while at a line) or rule R1 (the RP
+// completes the vector).
+type asyncRareWalk struct {
+	or, and []int
+	n       int
+}
+
+func (w asyncRareWalk) Start() int { return (1<<w.n - 1) | 1<<w.n }
+
+func (w asyncRareWalk) Next(s, cat int) (int, bool) {
+	ones := 1<<w.n - 1
+	mask := ((s & ones) | w.or[cat]) &^ w.and[cat]
+	atLine := s > ones
+	if (atLine || mask == ones) && cat < w.n {
+		return s, true
+	}
+	return mask, false
+}
+
+// RareSpec (async): the recovery-point streams are the progress categories
+// and the pairwise-interaction streams the reset categories — tearing bits
+// out of the last-action vector is exactly what delays the next recovery
+// line.
+func (asyncStrategy) RareSpec(w Workload) (rare.Spec, error) {
+	if err := validateRates(w.Mu); err != nil {
+		return rare.Spec{}, err
+	}
+	n := w.N()
+	walk := asyncRareWalk{n: n}
+	rates := append([]float64(nil), w.Mu...)
+	reset := make([]bool, 0, n)
+	for i := 0; i < n; i++ {
+		walk.or = append(walk.or, 1<<i)
+		walk.and = append(walk.and, 0)
+		reset = append(reset, false)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if w.Lambda[i][j] > 0 {
+				rates = append(rates, w.Lambda[i][j])
+				walk.or = append(walk.or, 0)
+				walk.and = append(walk.and, 1<<i|1<<j)
+				reset = append(reset, true)
+			}
+		}
+	}
+	return rare.Spec{Rates: rates, Reset: reset, Walk: walk}, nil
+}

@@ -1,0 +1,187 @@
+package strategy
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"recoveryblocks/internal/rare"
+	"recoveryblocks/internal/rbmodel"
+)
+
+// rareWorkload builds a deadline workload with uniform interactions, the
+// shape every RareSpec implementation accepts.
+func rareWorkload(n int, mu, lambda, deadline float64) Workload {
+	w := Workload{
+		Name:     "rare-test",
+		Mu:       make([]float64, n),
+		Lambda:   make([][]float64, n),
+		Deadline: deadline,
+		Reps:     20000,
+		Seed:     1983,
+		Workers:  1,
+	}
+	for i := 0; i < n; i++ {
+		w.Mu[i] = mu
+		w.Lambda[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				w.Lambda[i][j] = lambda
+			}
+		}
+	}
+	return w
+}
+
+func TestRareDeadlineSyncMatchesClosedForm(t *testing.T) {
+	// Deep tail: P(τ + Z > d) at depth ≈ 1e−6, where the closed form is
+	// exact and plain MC at this budget would see nothing.
+	w := rareWorkload(3, 1, 0, 16)
+	w.SyncInterval = 2
+	st, ok := Lookup(Sync)
+	if !ok {
+		t.Fatal("sync strategy not registered")
+	}
+	m, err := st.Price(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := RareDeadline(st, w, rare.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != rare.MethodIS {
+		t.Fatalf("deep sync tail used %q (note: %s)", est.Method, est.Note)
+	}
+	if est.StdErr <= 0 {
+		t.Fatalf("estimate has no spread: %+v", est)
+	}
+	if z := math.Abs(est.Prob-m.DeadlineMissProb) / est.StdErr; z > 4.5 {
+		t.Errorf("rare estimate %v vs closed form %v: z = %.2f", est.Prob, m.DeadlineMissProb, z)
+	}
+	if est.CVCoeff == 0 {
+		t.Errorf("auto control variate did not engage: %+v", est)
+	}
+}
+
+func TestRareDeadlinePRPMatchesClosedForm(t *testing.T) {
+	w := rareWorkload(4, 1.5, 0.3, 11)
+	st, ok := Lookup(PRP)
+	if !ok {
+		t.Fatal("prp strategy not registered")
+	}
+	m, err := st.Price(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := RareDeadline(st, w, rare.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.StdErr <= 0 {
+		t.Fatalf("estimate has no spread: %+v", est)
+	}
+	if z := math.Abs(est.Prob-m.DeadlineMissProb) / est.StdErr; z > 4.5 {
+		t.Errorf("rare estimate %v vs closed form %v: z = %.2f", est.Prob, m.DeadlineMissProb, z)
+	}
+}
+
+func TestRareDeadlineAsyncMatchesExactChain(t *testing.T) {
+	// The async walk replicates the simulator's event process exactly, so
+	// the estimate must agree with the 2^n+1-state chain's transient solve —
+	// at a moderate depth and at one plain-MC-visible depth.
+	for _, deadline := range []float64{4, 9} {
+		w := rareWorkload(3, 1, 0.25, deadline)
+		st, ok := Lookup(Async)
+		if !ok {
+			t.Fatal("async strategy not registered")
+		}
+		model, err := rbmodel.NewAsync(w.Params())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := model.DeadlineMissProb(deadline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := RareDeadline(st, w, rare.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.StdErr <= 0 {
+			t.Fatalf("deadline %v: estimate has no spread: %+v (note: %s)", deadline, est, est.Note)
+		}
+		if z := math.Abs(est.Prob-want) / est.StdErr; z > 4.5 {
+			t.Errorf("deadline %v: rare estimate %v (method %s) vs exact chain %v: z = %.2f",
+				deadline, est.Prob, est.Method, want, z)
+		}
+	}
+}
+
+func TestRareDeadlineEveryKFallsBackToPrice(t *testing.T) {
+	w := rareWorkload(2, 1, 0, 9)
+	w.SyncInterval = 1
+	w.EveryK = 3
+	st, ok := Lookup(SyncEveryK)
+	if !ok {
+		t.Fatal("sync-every-k strategy not registered")
+	}
+	if _, ok := st.(RareSimulator); ok {
+		t.Fatal("sync-every-k grew a rare simulator; update this fallback test")
+	}
+	m, err := st.Price(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := RareDeadline(st, w, rare.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != rare.MethodExact || est.Prob != m.DeadlineMissProb || est.StdErr != 0 {
+		t.Errorf("fallback estimate %+v, want exact %v", est, m.DeadlineMissProb)
+	}
+	if !strings.Contains(est.Note, "analytic") {
+		t.Errorf("fallback note %q does not say it is analytic", est.Note)
+	}
+}
+
+func TestRareDeadlineRejectsMissingDeadline(t *testing.T) {
+	w := rareWorkload(2, 1, 0, 0)
+	for _, name := range []Name{Async, Sync, PRP, SyncEveryK} {
+		st, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s strategy not registered", name)
+		}
+		if _, err := RareDeadline(st, w, rare.Options{}); err == nil {
+			t.Errorf("%s: RareDeadline accepted a workload without a deadline", name)
+		}
+	}
+}
+
+func TestRareDeadlineWorkerInvariance(t *testing.T) {
+	for _, name := range []Name{Async, Sync, PRP} {
+		w := rareWorkload(3, 1, 0.2, 10)
+		w.SyncInterval = 1
+		w.Reps = 6000
+		st, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("%s strategy not registered", name)
+		}
+		w.Workers = 1
+		ref, err := RareDeadline(st, w, rare.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{4, 16} {
+			w.Workers = workers
+			got, err := RareDeadline(st, w, rare.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("%s: workers=%d result differs from workers=1:\n%+v\nvs\n%+v", name, workers, got, ref)
+			}
+		}
+	}
+}

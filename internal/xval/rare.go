@@ -1,0 +1,114 @@
+package xval
+
+// The rare-event check family: the overlap regime where the exact solvers
+// still answer (n ≤ rbmodel.MaxExactProcesses) but the deadline-miss
+// probabilities are far below anything plain Monte Carlo could see at grid
+// budgets. Every cell that opts in (Scenario.Rare) crosses each capable
+// strategy's variance-reduced estimate (strategy.RareDeadline — importance
+// sampling, splitting, or the auto-router's choice) against the exact model
+// answer from the same strategy's Price, and the disagreement is judged with
+// the grid's ordinary family-wise z-test machinery: the rare engine reports
+// its own standard error, so the tolerance is derived, never tuned.
+
+import (
+	"fmt"
+
+	"recoveryblocks/internal/rare"
+	"recoveryblocks/internal/stats"
+	"recoveryblocks/internal/strategy"
+)
+
+// RareGrid is the overlap-regime grid: deadlines pushed deep enough that the
+// miss probabilities reach the ≤ 1e−6 regime where only the variance-reduced
+// estimators have any statistical power, while every cell stays inside the
+// exact solvers' reach so the comparison is mechanical, not statistical-vs-
+// statistical. Run by `go test ./internal/xval` (the CI gate) and by
+// `rbrepro xval -rare`.
+func RareGrid() []Scenario {
+	return []Scenario{
+		{
+			// Deep synchronized tail: P(τ + max Exp > d) ≈ 3·e^{−16} ≈ 3e−7,
+			// and the PRP bound an order deeper. Interaction-free, so the
+			// union-structured mute-mixture scheme carries both disciplines.
+			Name: "rare-n3-sync-tail", Mu: []float64{1, 1, 1}, Lambda: 0,
+			SyncThreshold: 2, Deadline: 18, Rare: true, Reps: 20000, Seed: 4083,
+		},
+		{
+			// Asymmetric rates: the slowest process (μ = 0.5) owns the tail,
+			// so the pilot must find the measure that mutes it specifically.
+			Name: "rare-n3-asym-tail", Mu: []float64{1.5, 1.0, 0.5}, Lambda: 0,
+			SyncThreshold: 1, Deadline: 30, Rare: true, Reps: 20000, Seed: 4183,
+		},
+		{
+			// Interacting cell: the async recovery-line interval's tail is
+			// quasi-stationary reset churn, which the router hands to
+			// splitting (P ≈ 5.4e−7 at d = 24), judged against the exact
+			// 2^n+1-state chain; the synchronized tails ride along deeper
+			// still via the mute mixture.
+			Name: "rare-n3-async-reset", Mu: []float64{1, 1, 1}, Lambda: 0.25,
+			SyncThreshold: 1, Deadline: 24, Rare: true, Reps: 20000, Seed: 4283,
+		},
+		{
+			// Sync-every-k cell: the discipline has no rare simulator, so this
+			// pins the graceful analytic fallback (an exact-vs-exact row).
+			Name: "rare-everyk-fallback", Mu: []float64{1, 2}, Lambda: 0,
+			SyncThreshold: 1, EveryK: 3, Deadline: 14, Rare: true, Reps: 20000, Seed: 4383,
+		},
+	}
+}
+
+// rareChecks crosses one cell with one strategy's rare-event estimator. The
+// exact reference is the strategy's own Price (the chain solve or closed
+// form — exact for every registered discipline); the estimate is judged as a
+// one-sample z-test using the rare engine's reported standard error, except
+// for the analytic fallback of non-capable strategies, which is an
+// exact-vs-exact numeric row. Applicability mirrors each discipline's own
+// check family: the async chain needs interacting processes, and sync-every-k
+// only records on cells that opt into its period.
+func rareChecks(w strategy.Workload, st strategy.Strategy, rec *strategy.Recorder) error {
+	if w.Deadline <= 0 {
+		return nil
+	}
+	switch st.Name() {
+	case strategy.Async:
+		if w.N() < 2 || !w.HasInteractions() {
+			return nil
+		}
+	case strategy.SyncEveryK:
+		if w.EveryK == 0 {
+			return nil
+		}
+	}
+	m, err := st.Price(w)
+	if err != nil {
+		return err
+	}
+	if m.DeadlineMissProb < 0 {
+		return nil // the discipline has no deadline-miss metric here
+	}
+	est, err := strategy.RareDeadline(st, w, rare.Options{})
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("rare.%s.missProb", st.Name())
+	if est.Method == rare.MethodExact {
+		// Analytic fallback: both routes are exact, so the comparison is
+		// round-off, not statistics.
+		rec.AddNumeric(name, m.DeadlineMissProb, est.Prob)
+		return nil
+	}
+	if est.StdErr <= 0 {
+		return fmt.Errorf("xval: %s rare estimate degenerate (prob %v, method %s, note %q)",
+			st.Name(), est.Prob, est.Method, est.Note)
+	}
+	// Rebuild the estimate's (mean, SE) as a Welford accumulator so the
+	// grid's z-test judges the control-variate-adjusted probability against
+	// the engine's own residual standard error.
+	n := est.Reps
+	if n < 2 {
+		n = 2
+	}
+	w8 := stats.FromMoments(n, est.Prob, est.StdErr*est.StdErr*float64(n))
+	rec.Add(name, strategy.KindZ, m.DeadlineMissProb, w8)
+	return nil
+}

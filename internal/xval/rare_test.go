@@ -1,0 +1,166 @@
+package xval
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"recoveryblocks/internal/rare"
+	"recoveryblocks/internal/strategy"
+)
+
+// TestRareGridPasses is the overlap-regime gate: every rare-event estimate
+// on the grid must agree with the exact model answer under the family-wise
+// z-test policy. This is the mechanical proof the rare engine ships with —
+// importance sampling and splitting judged against closed forms and chain
+// solves in the ≤ 1e−6 regime plain Monte Carlo cannot reach.
+func TestRareGridPasses(t *testing.T) {
+	rep, err := Run(RareGrid(), Options{RareOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		for _, c := range rep.Failed() {
+			t.Errorf("disagreement %s/%s: model %v, estimate %v, stat %v > crit %v",
+				c.Scenario, c.Name, c.Ref, c.Est, c.Stat, c.Crit)
+		}
+		t.Fatalf("%d rare-estimator/model disagreements on the overlap grid", rep.Failures)
+	}
+	if rep.K < 9 {
+		t.Fatalf("rare grid only ran %d statistical comparisons; the grid has shrunk", rep.K)
+	}
+	// Every capable discipline and the analytic fallback must appear.
+	want := []string{
+		"rare.sync.missProb", "rare.prp.missProb",
+		"rare.async.missProb", "rare.sync-every-k.missProb",
+	}
+	seen := map[string]bool{}
+	for _, c := range rep.Checks {
+		seen[c.Name] = true
+	}
+	for _, name := range want {
+		if !seen[name] {
+			t.Errorf("check %q missing from the rare-grid report", name)
+		}
+	}
+}
+
+// TestRareOnlySkipsStandardFamilies: the focused gate must not re-run the
+// standard check families — every row it produces is a rare-event row.
+func TestRareOnlySkipsStandardFamilies(t *testing.T) {
+	rep, err := Run(RareGrid()[:1], Options{RareOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Checks {
+		if len(c.Name) < 5 || c.Name[:5] != "rare." {
+			t.Errorf("RareOnly report contains non-rare check %q", c.Name)
+		}
+	}
+}
+
+// TestRareWorkerCountInvariance pins the determinism contract through the
+// rare engine's pilots, mixtures and splitting levels: the grid report must
+// be byte-identical for 1 worker and for all CPUs.
+func TestRareWorkerCountInvariance(t *testing.T) {
+	grid := RareGrid()[2:3] // the async cell exercises splitting and the mixture
+	a, err := Run(grid, Options{RareOnly: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(grid, Options{RareOnly: true, Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := a.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatal("rare-grid report differs between worker counts — the determinism contract broke")
+	}
+}
+
+// TestGoldenRareGrid is the fixed-seed regression oracle for the rare
+// estimators: any change to the engine, the routing, the RNG, or the
+// judging machinery that alters a single bit of the rare-grid report fails
+// here. Refresh intentionally with
+//
+//	go test ./internal/xval -run TestGoldenRareGrid -update
+func TestGoldenRareGrid(t *testing.T) {
+	rep, err := Run(RareGrid(), Options{RareOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "xval_rare.golden.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("rare-grid report drifted from the golden file.\n"+
+			"If the change is intentional, refresh with: go test ./internal/xval -run TestGoldenRareGrid -update\n"+
+			"diff hint: got %d bytes, want %d bytes; first divergence at byte %d",
+			len(got), len(want), firstDiff(got, want))
+	}
+}
+
+// TestRareHundredfoldSpeedup pins the variance-reduction claim on an
+// exact-solvable cell with a true miss probability below 1e−6: the
+// importance sampler must reach its relative CI half-width with at least
+// 100× fewer replications than plain Monte Carlo would need for the same
+// half-width. The plain-MC requirement is the binomial projection
+// (z/relHW)²·(1−p)/p — no simulation needed, the comparison is against the
+// estimator plain MC provably is.
+func TestRareHundredfoldSpeedup(t *testing.T) {
+	sc := RareGrid()[0] // sync tail: P = 3·e^{−16}−3·e^{−32}+e^{−48} ≈ 3.4e−7
+	w := sc.Workload(0)
+	st, ok := strategy.Lookup(strategy.Sync)
+	if !ok {
+		t.Fatal("sync strategy not registered")
+	}
+	m, err := st.Price(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.DeadlineMissProb
+	if p <= 0 || p > 1e-6 {
+		t.Fatalf("cell's exact miss probability %v is outside the ≤ 1e−6 regime the claim is about", p)
+	}
+	est, err := strategy.RareDeadline(st, w, rare.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Method != rare.MethodIS {
+		t.Fatalf("expected the router to pick importance sampling, got %s (%s)", est.Method, est.Note)
+	}
+	if z := math.Abs(est.Prob-p) / est.StdErr; z > 4.5 {
+		t.Fatalf("estimate %v vs exact %v: z = %.2f", est.Prob, p, z)
+	}
+	if est.RelHW <= 0 || math.IsInf(est.RelHW, 0) {
+		t.Fatalf("degenerate relative half-width %v", est.RelHW)
+	}
+	mcReps := math.Pow(1.96/est.RelHW, 2) * (1 - p) / p
+	if ratio := mcReps / float64(est.Reps); ratio < 100 {
+		t.Fatalf("importance sampling spent %d reps for relHW %.3g; plain MC would need %.3g (only %.1f× more, want ≥ 100×)",
+			est.Reps, est.RelHW, mcReps, ratio)
+	}
+}

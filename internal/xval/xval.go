@@ -61,6 +61,11 @@ type Scenario struct {
 	// 0 (the legacy grids) records no sync-every-k checks, keeping their
 	// goldens untouched.
 	EveryK int `json:"every_k,omitempty"`
+	// Rare opts the cell into the rare-event check family: every capable
+	// strategy's variance-reduced deadline-miss estimate is judged against
+	// its exact model answer. Off for the legacy grids, so their goldens
+	// are preserved; see RareGrid.
+	Rare bool `json:"rare,omitempty"`
 	// Reps is the replication budget for every estimator in the scenario
 	// (recovery-line intervals, synchronizations, cycles, probes).
 	Reps int `json:"reps"`
@@ -150,6 +155,10 @@ type Options struct {
 	// Strategies restricts the run to the named registered disciplines
 	// (the CLI's -strategy flag); empty means all of them.
 	Strategies []string
+	// RareOnly skips the standard check families and runs only the
+	// rare-event checks of cells that opt in (the focused gate behind
+	// `rbrepro xval -rare` and the rare-grid tests).
+	RareOnly bool
 }
 
 func (o Options) withDefaults() Options {
@@ -277,8 +286,15 @@ func evaluate(sc Scenario, opt Options) ([]strategy.Measurement, error) {
 			continue
 		}
 		rec := strategy.NewRecorder(sc.Name)
-		if err := st.XValChecks(w, rec); err != nil {
-			return nil, err
+		if !opt.RareOnly {
+			if err := st.XValChecks(w, rec); err != nil {
+				return nil, err
+			}
+		}
+		if sc.Rare {
+			if err := rareChecks(w, st, rec); err != nil {
+				return nil, err
+			}
 		}
 		ms = append(ms, rec.Measurements()...)
 	}

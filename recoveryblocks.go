@@ -61,6 +61,7 @@ import (
 	"recoveryblocks/internal/chaos"
 	"recoveryblocks/internal/core"
 	"recoveryblocks/internal/expt"
+	"recoveryblocks/internal/rare"
 	"recoveryblocks/internal/rbmodel"
 	"recoveryblocks/internal/scenario"
 	"recoveryblocks/internal/sim"
@@ -326,6 +327,11 @@ func XValShortGrid() []XValScenario { return xval.ShortGrid() }
 // XValFullGrid returns the thorough sweep grid.
 func XValFullGrid() []XValScenario { return xval.FullGrid() }
 
+// XValRareGrid returns the overlap-regime grid: deadline-miss probabilities
+// pushed into the ≤ 1e−6 regime, where the rare-event estimators are judged
+// against the exact solvers (run with XValOptions.RareOnly).
+func XValRareGrid() []XValScenario { return xval.RareGrid() }
+
 // CrossValidate runs every model↔simulator check of the grid and judges the
 // results at the family-wise error rate of opt (see internal/xval).
 func CrossValidate(grid []XValScenario, opt XValOptions) (*XValReport, error) {
@@ -407,6 +413,50 @@ func RunScenarios(scs []Scenario, opt ScenarioOptions) (*ScenarioReport, error) 
 // models alone (no simulation) and ranks them by expected overhead per unit
 // time; see RunScenarios for the cross-checked version.
 func Advise(sc Scenario) (*Advice, error) { return scenario.Advise(sc) }
+
+// ---- Rare-event engine (internal/rare, internal/scenario) ----
+
+// Aliases re-exporting the variance-reduced deadline-miss estimator layer:
+// importance sampling (defensive mixtures with exact likelihood-ratio
+// correction), fixed-effort splitting, and the pilot-run auto-router, all
+// bit-identical for every worker count.
+type (
+	// RareOptions tunes one rare-event estimate (method, budget, forced
+	// strength, precision target, control variate, seed, workers).
+	RareOptions = rare.Options
+	// RareEstimate is one estimate with its standard error, diagnostics and
+	// the router's reasoning.
+	RareEstimate = rare.Estimate
+	// RareMethod selects a rare-event estimator.
+	RareMethod = rare.Method
+	// RareReport is the outcome of a RareSweep — one row per scenario ×
+	// strategy with the exact reference beside the estimate.
+	RareReport = scenario.RareReport
+	// RareRow is one row of a RareReport.
+	RareRow = scenario.RareRow
+)
+
+// Re-exported rare-event method names.
+const (
+	// RareAuto lets the pilot-run router choose the estimator.
+	RareAuto = rare.MethodAuto
+	// RareMC is plain binomial Monte Carlo.
+	RareMC = rare.MethodMC
+	// RareIS is importance sampling.
+	RareIS = rare.MethodIS
+	// RareSplit is fixed-effort splitting over time levels.
+	RareSplit = rare.MethodSplit
+	// RareExact labels results that needed no simulation.
+	RareExact = rare.MethodExact
+)
+
+// RareSweep estimates the deadline-miss probability of every scenario ×
+// requested strategy with the rare-event engine, carrying each discipline's
+// exact analytic answer beside the estimate — the tail regime (miss rates
+// ≤ 1e−6) where the advisor's plain estimators see only zeros.
+func RareSweep(scs []Scenario, opt RareOptions) (*RareReport, error) {
+	return scenario.RareSweep(scs, opt)
+}
 
 // ---- Strategy registry (internal/strategy) ----
 
