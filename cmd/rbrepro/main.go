@@ -15,6 +15,7 @@
 //	rbrepro graph -model full|symmetric|split   # Figures 2-4 as DOT
 //	rbrepro plan                        # design aids beyond the paper
 //	rbrepro strategies [-table [-k 1,2,4]]  # the recovery-discipline registry
+//	rbrepro info  [-json]               # build info, limits, registries, metric catalog
 //	rbrepro xval  [-json] [-strategy S] [-rare]  # model vs simulator cross-validation
 //	rbrepro scenario -spec f | -family n [-json] [-strategy S]
 //	rbrepro rare  [-spec f | -family n] [-method auto|mc|is|split] [-target r] [-json]
@@ -24,6 +25,14 @@
 // Global flags: -quick (small Monte Carlo sizes; for xval, the short grid),
 // -seed N, -workers N (Monte Carlo worker-pool size; 0 = all CPUs; results
 // are bit-identical for every value).
+//
+// Observability: -metrics <path|-> enables the internal/obs layer for the
+// run and writes the structured JSON metrics report to the file (or stderr
+// with "-"); -metrics-summary prints a compact human-readable trailer to
+// stderr. Both leave stdout untouched, so redirected reports and goldens are
+// byte-identical with and without metrics; the report's deterministic
+// section is itself bit-identical across worker counts and same-seed reruns
+// (timings and scheduling facts are quarantined in the runtime section).
 //
 // chaos runs the fault-injection stability harness: the advisor's clean
 // ranking of each scenario (from a spec file or a fixed-seed random corpus)
@@ -76,10 +85,11 @@ func main() {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `rbrepro — reproduce Shin & Lee (1983) tables and figures
-commands: table1 fig5 fig6 sync prp domino trace graph plan strategies xval scenario rare chaos all
-flags:    -quick -seed N -workers N; fig5: -rhos -maxn -exact; fig6: -points -tmax;
+commands: table1 fig5 fig6 sync prp domino trace graph plan strategies info xval scenario rare chaos all
+flags:    -quick -seed N -workers N -metrics path|- -metrics-summary;
+          fig5: -rhos -maxn -exact; fig6: -points -tmax;
           prp: -tr -lambda; trace: -scheme sync|prp; graph: -model full|symmetric|split;
-          strategies: -table -k 1,2,4; xval: -json -strategy S -rare;
+          strategies: -table -k 1,2,4; info: -json; xval: -json -strategy S -rare;
           scenario: -spec f | -family n, -json -strategy S;
           rare: -spec f | -family n, -method auto|mc|is|split -reps N -tilt b -splits L -target r -json;
           chaos: -spec f | -corpus N, -perturb stacks -draws N -threshold p -margin-floor m -json`)

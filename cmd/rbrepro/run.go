@@ -66,6 +66,8 @@ func Run(args []string, stdout io.Writer) error {
 	marginFloor := fs.Float64("margin-floor", 0, "lower bound of the knife-edge margin boundary; 0 = default, negative = disabled (chaos)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the command to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the command to this file")
+	metricsPath := fs.String("metrics", "", `write the structured metrics run report (JSON) to this file; "-" means stderr`)
+	metricsSummary := fs.Bool("metrics-summary", false, "print a human-readable metrics summary to stderr after the command")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			_, werr := io.Copy(stdout, &flagOut)
@@ -236,6 +238,8 @@ func Run(args []string, stdout io.Writer) error {
 			})
 		case "strategies":
 			return runStrategies(stdout, *table, *ks)
+		case "info":
+			return runInfo(stdout, *jsonOut)
 		case "chaos":
 			return runChaos(stdout, *specPath, *corpus, *perturb, *seed, *workers, *jsonOut, *draws, *threshold, *marginFloor)
 		case "all":
@@ -263,7 +267,55 @@ func Run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
-	return run(cmd)
+	// Observability wraps whichever command runs: -metrics enables the
+	// registry, runs the command under a "cmd/<name>" span, and writes the
+	// structured report afterwards — to a file or stderr, never stdout, so
+	// redirected reports and goldens stay byte-identical with and without
+	// metrics. The report is written even when the command fails (a failing
+	// xval sweep still has accounting worth keeping); the command's own error
+	// wins over a report-write error.
+	if *metricsPath == "" && !*metricsSummary {
+		return run(cmd)
+	}
+	reg := rb.MetricsEnable()
+	defer rb.MetricsDisable()
+	err := func() error {
+		defer rb.StartMetricsSpan("cmd/" + cmd).End()
+		return run(cmd)
+	}()
+	if werr := writeMetrics(reg, *metricsPath, *metricsSummary); werr != nil && err == nil {
+		err = werr
+	}
+	return err
+}
+
+// writeMetrics emits the run report the -metrics/-metrics-summary flags asked
+// for. Both surfaces avoid stdout by design: the JSON report goes to the
+// named file ("-" = stderr) and the summary trailer always to stderr.
+func writeMetrics(reg *rb.MetricsRegistry, path string, summary bool) error {
+	if path != "" {
+		if path == "-" {
+			if err := reg.WriteJSON(os.Stderr); err != nil {
+				return fmt.Errorf("metrics: %w", err)
+			}
+		} else {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("metrics: %w", err)
+			}
+			werr := reg.WriteJSON(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("metrics: %w", werr)
+			}
+		}
+	}
+	if summary {
+		fmt.Fprint(os.Stderr, reg.Summary())
+	}
+	return nil
 }
 
 // runStrategies prints the recovery-discipline catalog — one line per

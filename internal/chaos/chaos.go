@@ -40,6 +40,7 @@ import (
 	"strings"
 
 	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/scenario"
 )
 
@@ -136,6 +137,7 @@ type Stack []Layer
 // Apply runs the stack's layers in order on a deep copy of the scenario; the
 // input is never mutated.
 func (s Stack) Apply(sc scenario.Scenario, rng *dist.Stream) scenario.Scenario {
+	obs.C("chaos_perturb_layers_total").Add(int64(len(s)))
 	out := cloneScenario(sc)
 	for _, l := range s {
 		out = l.Perturbation.Apply(out, l.Magnitude, rng)

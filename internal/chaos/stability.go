@@ -7,6 +7,7 @@ import (
 
 	"recoveryblocks/internal/dist"
 	"recoveryblocks/internal/mc"
+	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/scenario"
 	"recoveryblocks/internal/stats"
 )
@@ -176,6 +177,17 @@ func Run(scenarios []scenario.Scenario, opt Options) (*Report, error) {
 			}
 		}
 		rep.Scenarios = append(rep.Scenarios, o.res)
+	}
+	if reg := obs.Current(); reg != nil {
+		reg.Counter("chaos_cells_total").Add(int64(cells))
+		reg.Counter("chaos_draws_total").Add(int64(cells * opt.Draws))
+		var flips int64
+		for _, sc := range rep.Scenarios {
+			for _, c := range sc.Cells {
+				flips += int64(c.Flips)
+			}
+		}
+		reg.Counter("chaos_flips_total").Add(flips)
 	}
 	return rep, nil
 }

@@ -3,6 +3,8 @@ package linalg
 import (
 	"errors"
 	"math"
+
+	"recoveryblocks/internal/obs"
 )
 
 // ErrNoConvergence is returned when an iterative solve fails to reach its
@@ -82,6 +84,10 @@ func (b *CSRBuilder) Build() *CSR {
 	for b.curRow < b.n {
 		b.rowPtr = append(b.rowPtr, len(b.col))
 		b.curRow++
+	}
+	if reg := obs.Current(); reg != nil {
+		reg.Counter("linalg_csr_builds_total").Inc()
+		reg.Histogram("linalg_csr_nnz").Observe(float64(len(b.col)))
 	}
 	return &CSR{n: b.n, rowPtr: b.rowPtr, col: b.col, val: b.val}
 }
@@ -270,6 +276,7 @@ func (m *CSR) SolveTwoLevelGS(b []float64, agg []int, nAgg int, tol float64, max
 			}
 		}
 		if res <= tol*(normB+normM*normX) {
+			recordSweeps(iter)
 			return x, iter, nil
 		}
 		if res < best {
@@ -279,5 +286,17 @@ func (m *CSR) SolveTwoLevelGS(b []float64, agg []int, nAgg int, tol float64, max
 			sinceBest = 0
 		}
 	}
+	recordSweeps(maxIter)
 	return nil, maxIter, ErrNoConvergence
+}
+
+// recordSweeps folds one solve's Gauss–Seidel cycle count into the registry:
+// a running total and a per-solve distribution. Cycle counts are a pure
+// function of (matrix, b, agg, tol), so both land in the deterministic
+// section.
+func recordSweeps(iters int) {
+	if reg := obs.Current(); reg != nil {
+		reg.Counter("linalg_gs_sweeps_total").Add(int64(iters))
+		reg.Histogram("linalg_gs_sweeps").Observe(float64(iters))
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"math"
 
 	"recoveryblocks/internal/linalg"
+	"recoveryblocks/internal/obs"
 )
 
 // Entry is one outgoing transition of a sparse chain row.
@@ -204,6 +205,7 @@ func (c *CTMC) AbsorptionMomentsDense(start int) (m1, m2 float64, err error) {
 	if c.absorbing[start] {
 		return 0, 0, nil
 	}
+	obs.C("markov_solve_dense_total").Inc()
 	idx, order := c.transientIndex()
 	nt := len(order)
 	q := linalg.NewMatrix(nt, nt)
@@ -252,6 +254,7 @@ func (c *CTMC) AbsorptionMomentsSparse(start int) (m1, m2 float64, err error) {
 	if c.absorbing[start] {
 		return 0, 0, nil
 	}
+	obs.C("markov_solve_sparse_total").Inc()
 	idx, order := c.transientIndex()
 	q, agg, nAgg, err := c.transientCSR(idx, order, false)
 	if err != nil {
@@ -432,6 +435,7 @@ func (c *CTMC) ExpectedOccupancy(start int) ([]float64, error) {
 	var o []float64
 	var err error
 	if nt < SparseCutoff {
+		obs.C("markov_solve_dense_total").Inc()
 		// Build the transpose of Q_T directly so a single LU solve suffices.
 		qt := linalg.NewMatrix(nt, nt)
 		for k, u := range order {
@@ -444,6 +448,7 @@ func (c *CTMC) ExpectedOccupancy(start int) ([]float64, error) {
 		}
 		o, err = linalg.SolveLinear(qt, rhs)
 	} else {
+		obs.C("markov_solve_sparse_total").Inc()
 		var qt *linalg.CSR
 		var agg []int
 		var nAgg int

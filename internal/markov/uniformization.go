@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"recoveryblocks/internal/linalg"
+	"recoveryblocks/internal/obs"
 )
 
 // poissonWeights returns the Poisson(Λt) probabilities w_k for k = 0..K,
@@ -43,6 +44,10 @@ type uniformizedStepper struct {
 	p              *linalg.CSR
 	gamma          float64
 	cur, next, acc []float64
+	// matvecs is resolved once at stepper construction (nil when obs is off;
+	// nil-safe Add), so the per-advance accounting is one atomic add — never
+	// a registry lookup inside the trajectory sweep.
+	matvecs *obs.Counter
 }
 
 // newStepper uniformizes the chain at its maximum departure rate. A gamma of
@@ -76,11 +81,12 @@ func (c *CTMC) newStepper(pi0 []float64) *uniformizedStepper {
 		}
 	}
 	s := &uniformizedStepper{
-		p:     b.Build(),
-		gamma: gamma,
-		cur:   append([]float64(nil), pi0...),
-		next:  make([]float64, c.n),
-		acc:   make([]float64, c.n),
+		p:       b.Build(),
+		gamma:   gamma,
+		cur:     append([]float64(nil), pi0...),
+		next:    make([]float64, c.n),
+		acc:     make([]float64, c.n),
+		matvecs: obs.C("markov_uniformization_matvecs_total"),
 	}
 	return s
 }
@@ -92,6 +98,7 @@ func (s *uniformizedStepper) advance(dt, eps float64) {
 		return
 	}
 	w := poissonWeights(s.gamma*dt, eps)
+	s.matvecs.Add(int64(len(w) - 1))
 	out := s.acc
 	for i := range out {
 		out[i] = 0

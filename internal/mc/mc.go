@@ -17,6 +17,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"recoveryblocks/internal/obs"
 )
 
 // DefaultBlockSize is the replication-block granularity used when a caller
@@ -85,6 +88,20 @@ func Run[T any](total, blockSize, workers int, run func(b Block) T) []T {
 	if len(blocks) == 0 {
 		return nil
 	}
+	// Observability is block-granular on purpose: one registry access per
+	// run and per worker, never per replication, so the instrumented engine
+	// is indistinguishable from the bare one when obs is off and within
+	// noise when it is on. Block and run counts are deterministic (the plan
+	// ignores the worker count); everything clock- or scheduling-shaped —
+	// run wall time, per-worker block counts, busy time, imbalance — is
+	// runtime-section material (see internal/obs).
+	reg := obs.Current()
+	var runStart time.Time
+	if reg != nil {
+		reg.Counter("mc_runs_total").Inc()
+		reg.Counter("mc_blocks_total").Add(int64(len(blocks)))
+		runStart = time.Now()
+	}
 	results := make([]T, len(blocks))
 	w := Workers(workers)
 	if w > len(blocks) {
@@ -94,25 +111,66 @@ func Run[T any](total, blockSize, workers int, run func(b Block) T) []T {
 		for i, b := range blocks {
 			results[i] = run(b)
 		}
+		if reg != nil {
+			finishRun(reg, runStart, []int64{int64(len(blocks))}, nil)
+		}
 		return results
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(w)
+	perWorker := make([]int64, w)
+	busy := make([]time.Duration, w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(g int) {
 			defer wg.Done()
+			var done int64
+			var spent time.Duration
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(blocks) {
-					return
+					break
 				}
-				results[i] = run(blocks[i])
+				if reg != nil {
+					t0 := time.Now()
+					results[i] = run(blocks[i])
+					spent += time.Since(t0)
+				} else {
+					results[i] = run(blocks[i])
+				}
+				done++
 			}
-		}()
+			perWorker[g] = done
+			busy[g] = spent
+		}(g)
 	}
 	wg.Wait()
+	if reg != nil {
+		finishRun(reg, runStart, perWorker, busy)
+	}
 	return results
+}
+
+// finishRun folds one engine run's scheduling telemetry into the registry:
+// per-worker block counts and busy time, the max−min block imbalance, and
+// the run's wall time.
+func finishRun(reg *obs.Registry, start time.Time, perWorker []int64, busy []time.Duration) {
+	reg.Gauge("mc_workers").Set(float64(len(perWorker)))
+	minB, maxB := perWorker[0], perWorker[0]
+	for _, n := range perWorker {
+		if n < minB {
+			minB = n
+		}
+		if n > maxB {
+			maxB = n
+		}
+		reg.Histogram("mc_worker_blocks").Observe(float64(n))
+	}
+	reg.Gauge("mc_imbalance_blocks").SetMax(float64(maxB - minB))
+	for _, d := range busy {
+		reg.Histogram("mc_worker_busy_seconds").Observe(d.Seconds())
+	}
+	reg.Histogram("mc_run_seconds").Observe(time.Since(start).Seconds())
 }
 
 // Map runs fn once per item on the worker pool and returns the results in
@@ -124,6 +182,7 @@ func Run[T any](total, blockSize, workers int, run func(b Block) T) []T {
 // batch reports built by folding it in order inherit the engine's
 // bit-reproducibility.
 func Map[T, R any](items []T, workers int, fn func(i int, item T) R) []R {
+	obs.C("mc_map_items_total").Add(int64(len(items)))
 	return Run(len(items), 1, workers, func(b Block) R {
 		return fn(b.Lo, items[b.Lo])
 	})

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"recoveryblocks/internal/stats"
+)
+
+// spanNode is one aggregated node of the run-span tree. Spans with the same
+// path fold into one node (a shard-level span executed 400 times is one node
+// with n = 400), so the tree stays bounded whatever the fan-out. Durations
+// aggregate through a stats.Welford — the same streaming-moments
+// accumulator the estimators use — because span timings are exactly the
+// kind of noisy sample a mean ± deviation summarizes well.
+type spanNode struct {
+	w        stats.Welford
+	children map[string]*spanNode
+}
+
+func newSpanNode() *spanNode { return &spanNode{children: make(map[string]*spanNode)} }
+
+// Span is one in-flight timed region, opened by StartSpan and closed by End.
+// The path addresses the node in the registry's tree ("pipeline/stage/shard"
+// with "/" separators), so hierarchy needs no context threading: concurrent
+// spans on the same path aggregate under the registry lock. A nil Span (the
+// disabled path) is a no-op.
+type Span struct {
+	reg   *Registry
+	path  string
+	start time.Time
+}
+
+// StartSpan opens a span on the current registry, reading the monotonic
+// clock. Returns nil when observability is off.
+func StartSpan(path string) *Span {
+	r := Current()
+	if r == nil {
+		return nil
+	}
+	return &Span{reg: r, path: path, start: time.Now()}
+}
+
+// End closes the span, folding its duration into the registry's span tree.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start).Seconds()
+	s.reg.recordSpan(s.path, d)
+}
+
+// recordSpan walks (creating as needed) the node at path and adds one
+// duration observation.
+func (r *Registry) recordSpan(path string, seconds float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	node := r.root
+	for _, part := range strings.Split(path, "/") {
+		child := node.children[part]
+		if child == nil {
+			child = newSpanNode()
+			node.children[part] = child
+		}
+		node = child
+	}
+	node.w.Add(seconds)
+}
+
+// SpanSnapshot is the exported state of one span node, children sorted by
+// name for stable output.
+type SpanSnapshot struct {
+	Name         string         `json:"name"`
+	Count        int            `json:"count"`
+	TotalSeconds float64        `json:"total_seconds"`
+	MeanSeconds  float64        `json:"mean_seconds"`
+	StdDev       float64        `json:"stddev_seconds,omitempty"`
+	Children     []SpanSnapshot `json:"children,omitempty"`
+}
+
+// snapshotSpans exports the children of node in name order. Caller holds the
+// registry lock.
+func snapshotSpans(node *spanNode) []SpanSnapshot {
+	if len(node.children) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(node.children))
+	for name := range node.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]SpanSnapshot, 0, len(names))
+	for _, name := range names {
+		child := node.children[name]
+		out = append(out, SpanSnapshot{
+			Name:         name,
+			Count:        child.w.N(),
+			TotalSeconds: child.w.Mean() * float64(child.w.N()),
+			MeanSeconds:  child.w.Mean(),
+			StdDev:       child.w.StdDev(),
+			Children:     snapshotSpans(child),
+		})
+	}
+	return out
+}

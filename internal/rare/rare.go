@@ -65,6 +65,7 @@ import (
 	"math"
 
 	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/stats"
 )
 
@@ -387,15 +388,16 @@ func Run(spec Spec, deadline float64, opt Options) (Estimate, error) {
 	if math.IsNaN(deadline) || math.IsInf(deadline, 0) || deadline < 0 {
 		return Estimate{}, fmt.Errorf("rare: deadline = %v must be nonnegative and finite", deadline)
 	}
+	obs.C("rare_runs_total").Inc()
 	h := deadline - spec.Offset
 	if h <= 0 {
 		// The deterministic head start alone exceeds the deadline: the miss
 		// is certain, no simulation required.
-		return Estimate{
+		return recordMethod(Estimate{
 			Prob: 1, Method: MethodExact, MetTarget: true,
 			MeanLR: 1,
 			Note:   "deadline inside the deterministic offset; miss probability is exactly 1",
-		}, nil
+		}), nil
 	}
 	if opt.CtrlProb > 0 && (opt.CtrlDeadline <= spec.Offset || opt.CtrlDeadline >= deadline) {
 		return Estimate{}, fmt.Errorf("rare: control deadline %v must lie strictly between the offset %v and the deadline %v",
@@ -407,7 +409,7 @@ func Run(spec Spec, deadline float64, opt Options) (Estimate, error) {
 		est := estimateIS(spec, h, spec.Rates, opt, opt.Seed+seedOffMain)
 		est.Method = MethodMC
 		est.MetTarget = meetsTarget(est.RelHW, opt.Target)
-		return est, nil
+		return recordMethod(est), nil
 	case MethodIS:
 		plan := forcedPlan(spec, opt)
 		if opt.Tilt == 0 {
@@ -416,7 +418,7 @@ func Run(spec Spec, deadline float64, opt Options) (Estimate, error) {
 		est := runPlan(spec, h, plan, opt, opt.Seed+seedOffMain)
 		est.Note = plan.note
 		est.MetTarget = meetsTarget(est.RelHW, opt.Target)
-		return est, nil
+		return recordMethod(est), nil
 	case MethodSplit:
 		levels := opt.Splits
 		note := ""
@@ -426,10 +428,36 @@ func Run(spec Spec, deadline float64, opt Options) (Estimate, error) {
 		est := estimateSplit(spec, h, levels, opt)
 		est.Note = joinNotes(note, est.Note)
 		est.MetTarget = meetsTarget(est.RelHW, opt.Target)
-		return est, nil
+		return recordMethod(est), nil
 	default: // MethodAuto
-		return route(spec, h, opt)
+		est, err := route(spec, h, opt)
+		if err != nil {
+			return est, err
+		}
+		return recordMethod(est), nil
 	}
+}
+
+// recordMethod folds the estimate's resolved method into the registry — the
+// router-decision accounting behind the rare_method_* counters. The routing
+// is a pure function of (spec, deadline, options, seed), so the counts are
+// deterministic.
+func recordMethod(est Estimate) Estimate {
+	reg := obs.Current()
+	if reg == nil {
+		return est
+	}
+	switch est.Method {
+	case MethodExact:
+		reg.Counter("rare_method_exact_total").Inc()
+	case MethodMC:
+		reg.Counter("rare_method_mc_total").Inc()
+	case MethodIS:
+		reg.Counter("rare_method_is_total").Inc()
+	case MethodSplit:
+		reg.Counter("rare_method_split_total").Inc()
+	}
+	return est
 }
 
 // route is the MethodAuto pilot logic: plain MC if the event is not
@@ -437,6 +465,7 @@ func Run(spec Spec, deadline float64, opt Options) (Estimate, error) {
 // defensive mixture, with splitting as the fallback when the mixture pilot
 // yields no usable estimate.
 func route(spec Spec, h float64, opt Options) (Estimate, error) {
+	obs.C("rare_route_auto_total").Inc()
 	pilotOpt := opt
 	pilotOpt.Reps = min(pilotMCReps, opt.Reps)
 	pilotOpt.CtrlDeadline, pilotOpt.CtrlProb = 0, 0

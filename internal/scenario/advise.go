@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/strategy"
 )
 
@@ -50,6 +51,7 @@ func Advise(sc Scenario) (*Advice, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	obs.C("scenario_advise_total").Inc()
 	w := sc.workload()
 	adv := &Advice{Scenario: sc.Name}
 	for _, st := range sc.Strategies {

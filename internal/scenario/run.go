@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"recoveryblocks/internal/mc"
+	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/stats"
 	"recoveryblocks/internal/strategy"
 )
@@ -39,10 +40,12 @@ func (o Options) withDefaults() Options {
 // package. Scenarios fan out across the internal/mc worker pool; fixed seeds
 // make the report bit-identical for every worker count.
 func Run(scenarios []Scenario, opt Options) (*Report, error) {
+	defer obs.StartSpan("scenario/batch").End()
 	opt = opt.withDefaults()
 	if len(scenarios) == 0 {
 		return nil, errors.New("scenario: empty batch")
 	}
+	obs.C("scenario_cells_total").Add(int64(len(scenarios)))
 	for i := range scenarios {
 		if err := scenarios[i].Validate(); err != nil {
 			return nil, err
@@ -96,6 +99,10 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 			res.Checks = append(res.Checks, c)
 		}
 		rep.Scenarios = append(rep.Scenarios, res)
+	}
+	if reg := obs.Current(); reg != nil {
+		reg.Counter("scenario_checks_total").Add(int64(rep.K))
+		reg.Counter("scenario_check_failures_total").Add(int64(rep.Failures))
 	}
 	return rep, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"recoveryblocks/internal/dist"
 	"recoveryblocks/internal/mc"
+	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/rbmodel"
 	"recoveryblocks/internal/stats"
 )
@@ -120,6 +121,7 @@ type asyncBlock struct {
 	hist    *stats.Histogram
 	samples []float64
 	counts  []int // scratch: RP counts of the interval in progress
+	events  int64 // jump-chain events consumed, folded into obs at run end
 }
 
 // histBins resolves the histogram bin count (0 means the 50-bin default).
@@ -206,6 +208,7 @@ func (blk *asyncBlock) run(cats *eventCats, intervals int, rng *dist.Stream, opt
 				counts[i] = 0
 			}
 			done++
+			blk.events += int64(events)
 			events = 0
 			mask = ones
 			atLine = true
@@ -265,6 +268,17 @@ func SimulateAsync(p rbmodel.Params, opt AsyncOptions) (*AsyncResult, error) {
 		}
 	}
 	res.Intervals = res.X.N()
+	// Event and interval totals are per-block tallies folded after the merge
+	// — the hot loop stays untouched, and the sums are block-order-invariant,
+	// so both counters are deterministic across worker counts.
+	if reg := obs.Current(); reg != nil {
+		var events int64
+		for _, blk := range blocks {
+			events += blk.events
+		}
+		reg.Counter("sim_async_events_total").Add(events)
+		reg.Counter("sim_async_intervals_total").Add(int64(res.Intervals))
+	}
 	return res, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"recoveryblocks/internal/dist"
 	"recoveryblocks/internal/mc"
+	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/rbmodel"
 	"recoveryblocks/internal/stats"
 )
@@ -164,6 +165,7 @@ func SimulatePRP(p rbmodel.Params, opt PRPOptions) (*PRPResult, error) {
 		res.Probes += blk.probes
 	}
 	res.DominoFraction = float64(domino) / float64(res.Probes)
+	obs.C("sim_prp_probes_total").Add(int64(res.Probes))
 	return res, nil
 }
 

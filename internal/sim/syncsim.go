@@ -6,6 +6,7 @@ import (
 
 	"recoveryblocks/internal/dist"
 	"recoveryblocks/internal/mc"
+	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/stats"
 )
 
@@ -113,6 +114,7 @@ func SimulateSync(mu []float64, opt SyncOptions) (*SyncResult, error) {
 		res.StatesSaved.Merge(blk.StatesSaved)
 		res.Cycles += blk.Cycles
 	}
+	obs.C("sim_sync_cycles_total").Add(int64(res.Cycles))
 	return res, nil
 }
 

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math"
 
+	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/rbmodel"
 	"recoveryblocks/internal/synch"
 )
@@ -262,6 +263,10 @@ type Strategy interface {
 // The scenario engine judges the recorded measurements at its family-wise
 // error rate; any harness gets the same discipline-agnostic contract.
 func CrossCheck(st Strategy, w Workload, rec *Recorder) error {
+	if reg := obs.Current(); reg != nil {
+		reg.Counter("strategy_crosschecks_total").Inc()
+		reg.Counter("strategy_crosschecks_total_" + string(st.Name())).Inc()
+	}
 	refs, err := st.Model(w)
 	if err != nil {
 		return err

@@ -36,6 +36,7 @@ import (
 	"sort"
 
 	"recoveryblocks/internal/mc"
+	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/rbmodel"
 	"recoveryblocks/internal/stats"
 	"recoveryblocks/internal/strategy"
@@ -195,7 +196,9 @@ func (o Options) wants(name strategy.Name) bool {
 // replications inside each slot. Every estimator is bit-identical for every
 // worker count, so the report — assembled in scenario order — is too.
 func Run(scenarios []Scenario, opt Options) (*Report, error) {
+	defer obs.StartSpan("xval/batch").End()
 	opt = opt.withDefaults()
+	obs.C("xval_cells_total").Add(int64(len(scenarios)))
 	for _, sc := range scenarios {
 		if err := sc.validate(); err != nil {
 			return nil, err
@@ -248,6 +251,10 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 			rep.Failures++
 		}
 		rep.Checks = append(rep.Checks, c)
+	}
+	if reg := obs.Current(); reg != nil {
+		reg.Counter("xval_checks_total").Add(int64(len(rep.Checks)))
+		reg.Counter("xval_check_failures_total").Add(int64(rep.Failures))
 	}
 	return rep, nil
 }

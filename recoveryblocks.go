@@ -60,7 +60,11 @@ package recoveryblocks
 import (
 	"recoveryblocks/internal/chaos"
 	"recoveryblocks/internal/core"
+	"recoveryblocks/internal/dist"
 	"recoveryblocks/internal/expt"
+	"recoveryblocks/internal/markov"
+	"recoveryblocks/internal/mc"
+	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/rare"
 	"recoveryblocks/internal/rbmodel"
 	"recoveryblocks/internal/scenario"
@@ -541,3 +545,83 @@ func ChaosPerturbations() []StrategyInfo {
 // ParseChaosStacks decodes the -perturb syntax: stacks separated by "|",
 // layers within a stack by "+", each layer "name" or "name:magnitude".
 func ParseChaosStacks(s string) ([]ChaosStack, error) { return chaos.ParseStacks(s) }
+
+// ---- Observability (internal/obs) ----
+
+// Aliases re-exporting the zero-overhead-when-off metrics and tracing layer:
+// atomic counters, gauges and mergeable histograms across the whole pipeline
+// (Monte Carlo engine, simulators, exact solvers, scenario/xval/rare/chaos
+// harnesses), hierarchical run spans, and three export surfaces — a
+// structured JSON run report split into deterministic and runtime sections,
+// Prometheus text exposition, and expvar. When no registry is installed,
+// every instrumented site is one atomic pointer load and a nil check.
+type (
+	// MetricsRegistry holds one run's metrics; install with MetricsEnable.
+	MetricsRegistry = obs.Registry
+	// MetricsReport is the structured snapshot: the deterministic section is
+	// bit-identical across worker counts and same-seed reruns; everything
+	// clock- or scheduling-shaped is quarantined in the runtime section.
+	MetricsReport = obs.Report
+	// MetricDef documents one cataloged metric (name, kind, section, help).
+	MetricDef = obs.Def
+	// MetricsSpan is one open hierarchical run span; close with End.
+	MetricsSpan = obs.Span
+)
+
+// MetricsEnable installs a fresh global metrics registry and returns it.
+// Every instrumented layer starts recording; call MetricsDisable (or just
+// drop the registry) to return to the zero-overhead disabled state.
+func MetricsEnable() *MetricsRegistry { return obs.Enable() }
+
+// MetricsDisable uninstalls the global metrics registry.
+func MetricsDisable() { obs.Disable() }
+
+// MetricsEnabled reports whether a metrics registry is installed.
+func MetricsEnabled() bool { return obs.Enabled() }
+
+// CurrentMetrics returns the installed registry, or nil when observability
+// is off. The returned registry's WriteJSON, WritePrometheus, Summary and
+// Report methods are the export surfaces behind `rbrepro -metrics`.
+func CurrentMetrics() *MetricsRegistry { return obs.Current() }
+
+// StartMetricsSpan opens a hierarchical run span ("cmd/scenario",
+// "pipeline/stage/shard"); same-path spans aggregate. Returns nil (safe to
+// End) when observability is off.
+func StartMetricsSpan(path string) *MetricsSpan { return obs.StartSpan(path) }
+
+// MetricsCatalog returns the full metric catalog — the authoritative list
+// behind the deterministic/runtime report split. `rbrepro info` prints it.
+func MetricsCatalog() []MetricDef { return append([]MetricDef(nil), obs.Catalog...) }
+
+// PublishMetricsExpvar exposes the current metrics report under the expvar
+// key "rbrepro_obs" (the /debug/vars surface). Idempotent; reads while
+// observability is off yield an explicit disabled marker.
+func PublishMetricsExpvar() { obs.PublishExpvar() }
+
+// Limits reports the compiled-in structural bounds of the analysis stack —
+// the numbers that decide which route a given workload takes.
+type Limits struct {
+	// MaxExactProcesses bounds the full model's exact chain (2^n + 1 states).
+	MaxExactProcesses int `json:"max_exact_processes"`
+	// SparseCutoff is the transient-state count at and above which chain
+	// solves switch from dense LU to the CSR two-level Gauss–Seidel route.
+	SparseCutoff int `json:"sparse_cutoff"`
+	// DefaultBlockSize is the Monte Carlo replication-block granularity.
+	DefaultBlockSize int `json:"default_block_size"`
+	// MaxEveryK bounds the sync-every-k block period.
+	MaxEveryK int `json:"max_every_k"`
+	// MaxAliasCategories bounds the event-category count of the superposed
+	// Poisson samplers (n + C(n,2) categories at n processes).
+	MaxAliasCategories int `json:"max_alias_categories"`
+}
+
+// EngineLimits returns the structural bounds compiled into this build.
+func EngineLimits() Limits {
+	return Limits{
+		MaxExactProcesses:  rbmodel.MaxExactProcesses,
+		SparseCutoff:       markov.SparseCutoff,
+		DefaultBlockSize:   mc.DefaultBlockSize,
+		MaxEveryK:          strategy.MaxEveryK,
+		MaxAliasCategories: dist.MaxAliasCategories,
+	}
+}
