@@ -26,6 +26,15 @@
 // -seed N, -workers N (Monte Carlo worker-pool size; 0 = all CPUs; results
 // are bit-identical for every value).
 //
+// Resilience: every numerical route runs inside an acceptance-tested
+// recovery block (primary solver plus fallback alternates, panic-isolated).
+// -timeout d bounds a harness run's wall clock — on expiry (or Ctrl-C) the
+// sweep stops at the next work-item boundary and the process exits 3.
+// -solver-fault N forces the first N attempts of every recovery block to
+// fail, driving all numerics onto their fallback routes: the run completes,
+// reports carry confidence labels and quarantine stubs instead of crashes,
+// and the process exits 4 to mark the degraded results.
+//
 // Observability: -metrics <path|-> enables the internal/obs layer for the
 // run and writes the structured JSON metrics report to the file (or stderr
 // with "-"); -metrics-summary prints a compact human-readable trailer to
@@ -61,14 +70,25 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 )
 
+// Exit codes: 0 success; 1 failure (a cross-check disagreement, an unstable
+// chaos cell, a missed precision target, any hard error); 2 usage; 3 the run
+// was cut short by -timeout or Ctrl-C; 4 the run completed but degraded —
+// quarantined scenarios or advice priced on fallback routes (see
+// -solver-fault). Pipelines gate on 1, archive partial reports on 3, and
+// treat 4 as "results present, trust reduced".
 func main() {
-	err := Run(os.Args[1:], os.Stdout)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := RunContext(ctx, os.Args[1:], os.Stdout)
 	switch {
 	case err == nil:
 	case errors.Is(err, errUsage):
@@ -77,6 +97,12 @@ func main() {
 			fmt.Fprintln(os.Stderr, "rbrepro:", msg)
 		}
 		os.Exit(2)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "rbrepro:", err)
+		os.Exit(3)
+	case errors.Is(err, errDegraded):
+		fmt.Fprintln(os.Stderr, "rbrepro:", err)
+		os.Exit(4)
 	default:
 		fmt.Fprintln(os.Stderr, "rbrepro:", err)
 		os.Exit(1)
@@ -86,7 +112,7 @@ func main() {
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `rbrepro — reproduce Shin & Lee (1983) tables and figures
 commands: table1 fig5 fig6 sync prp domino trace graph plan strategies info xval scenario rare chaos all
-flags:    -quick -seed N -workers N -metrics path|- -metrics-summary;
+flags:    -quick -seed N -workers N -metrics path|- -metrics-summary -timeout d -solver-fault N;
           fig5: -rhos -maxn -exact; fig6: -points -tmax;
           prp: -tr -lambda; trace: -scheme sync|prp; graph: -model full|symmetric|split;
           strategies: -table -k 1,2,4; info: -json; xval: -json -strategy S -rare;

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -19,12 +20,28 @@ import (
 // prints the usage text and exits 2 instead of 1.
 var errUsage = errors.New("usage")
 
+// errDegraded marks a run that completed — the full report was printed — but
+// with some results quarantined or priced on fallback routes instead of their
+// primary solvers. main exits 4 so pipelines can tell "finished, degraded"
+// apart from failure (1) and timeout (3).
+var errDegraded = errors.New("degraded results")
+
 // Run executes one rbrepro command with the given arguments, writing every
 // result to stdout. It is the whole CLI behind a testable seam: main only
 // maps the returned error onto an exit code. A nil return means the command
 // succeeded; for `xval` that includes every model↔simulator check passing
 // (any disagreement is an error, so the process exits non-zero).
 func Run(args []string, stdout io.Writer) error {
+	return RunContext(context.Background(), args, stdout)
+}
+
+// RunContext is Run under an explicit context: cancellation (Ctrl-C in main,
+// a test deadline) aborts the harness subcommands — xval, scenario, rare,
+// chaos — at the next work-item boundary, surfacing as an ErrBudget-classified
+// error that main maps to exit code 3. The -timeout flag layers a deadline on
+// top; -solver-fault N forces the first N attempts of every recovery block to
+// fail, driving the whole run onto its fallback routes.
+func RunContext(ctx context.Context, args []string, stdout io.Writer) error {
 	if len(args) < 1 {
 		return fmt.Errorf("%w: missing command", errUsage)
 	}
@@ -68,6 +85,8 @@ func Run(args []string, stdout io.Writer) error {
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the command to this file")
 	metricsPath := fs.String("metrics", "", `write the structured metrics run report (JSON) to this file; "-" means stderr`)
 	metricsSummary := fs.Bool("metrics-summary", false, "print a human-readable metrics summary to stderr after the command")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the command; on expiry the run aborts at the next work-item boundary and exits 3 (xval, scenario, rare, chaos)")
+	solverFault := fs.Int("solver-fault", 0, "force the first N attempts of every recovery block to fail, driving all numerics onto fallback routes; degraded reports exit 4 (xval, scenario, rare, chaos)")
 	if err := fs.Parse(args[1:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			_, werr := io.Copy(stdout, &flagOut)
@@ -75,6 +94,18 @@ func Run(args []string, stdout io.Writer) error {
 		}
 		return fmt.Errorf("%w: %v", errUsage, err)
 	}
+	if *timeout < 0 {
+		return fmt.Errorf("%w: -timeout must be positive", errUsage)
+	}
+	if *solverFault < 0 {
+		return fmt.Errorf("%w: -solver-fault must be non-negative", errUsage)
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx = rb.WithSolverFaults(ctx, *solverFault)
 	sz := rb.DefaultSizes()
 	if *quick {
 		sz = rb.QuickSizes()
@@ -226,11 +257,11 @@ func Run(args []string, stdout io.Writer) error {
 				fmt.Fprintf(stdout, "%d | %.4f   | %8.2f\n", n, p, q)
 			}
 		case "xval":
-			return runXVal(stdout, *quick, *seed, *workers, *jsonOut, *strategyName, *rareGrid)
+			return runXVal(ctx, stdout, *quick, *seed, *workers, *jsonOut, *strategyName, *rareGrid)
 		case "scenario":
-			return runScenario(stdout, *specPath, *family, *quick, *seed, *workers, *jsonOut, *strategyName)
+			return runScenario(ctx, stdout, *specPath, *family, *quick, *seed, *workers, *jsonOut, *strategyName)
 		case "rare":
-			return runRare(stdout, rareArgs{
+			return runRare(ctx, stdout, rareArgs{
 				specPath: *specPath, family: *family, quick: *quick,
 				seed: *seed, workers: *workers, jsonOut: *jsonOut,
 				strategyName: *strategyName, method: *method, reps: *reps,
@@ -241,7 +272,7 @@ func Run(args []string, stdout io.Writer) error {
 		case "info":
 			return runInfo(stdout, *jsonOut)
 		case "chaos":
-			return runChaos(stdout, *specPath, *corpus, *perturb, *seed, *workers, *jsonOut, *draws, *threshold, *marginFloor)
+			return runChaos(ctx, stdout, *specPath, *corpus, *perturb, *seed, *workers, *jsonOut, *draws, *threshold, *marginFloor)
 		case "all":
 			for _, sub := range []string{"table1", "fig5", "fig6", "sync", "prp", "domino", "plan"} {
 				fmt.Fprintf(stdout, "================ %s ================\n", sub)
@@ -352,7 +383,7 @@ func runStrategies(stdout io.Writer, table bool, ksCSV string) error {
 // cross-check disagreement is returned as an error so the process exits
 // non-zero: advice whose numbers the simulators dispute must not look like
 // success in a pipeline.
-func runScenario(stdout io.Writer, specPath, family string, quick bool, seed int64, workers int, jsonOut bool, strategyName string) error {
+func runScenario(ctx context.Context, stdout io.Writer, specPath, family string, quick bool, seed int64, workers int, jsonOut bool, strategyName string) error {
 	var scs []rb.Scenario
 	var err error
 	switch {
@@ -395,7 +426,7 @@ func runScenario(stdout io.Writer, specPath, family string, quick bool, seed int
 			scs[i].Strategies = []rb.ScenarioStrategy{st}
 		}
 	}
-	rep, err := rb.RunScenarios(scs, rb.ScenarioOptions{Workers: workers})
+	rep, err := rb.RunScenarios(scs, rb.ScenarioOptions{Workers: workers, Ctx: ctx})
 	if err != nil {
 		return err
 	}
@@ -411,6 +442,9 @@ func runScenario(stdout io.Writer, specPath, family string, quick bool, seed int
 	if rep.Failures > 0 {
 		return fmt.Errorf("scenario: %d cross-check disagreement(s)", rep.Failures)
 	}
+	if n := rep.Degraded(); n > 0 {
+		return fmt.Errorf("%w: scenario: %d scenario(s) quarantined or advised with fallback-route confidence", errDegraded, n)
+	}
 	return nil
 }
 
@@ -420,7 +454,7 @@ func runScenario(stdout io.Writer, specPath, family string, quick bool, seed int
 // An unstable verdict — a significant winner flip on a confidently-won
 // scenario — is returned as an error so the process exits non-zero: advice
 // that does not survive realistic faults must not look like success in CI.
-func runChaos(stdout io.Writer, specPath string, corpus int, perturb string, seed int64, workers int, jsonOut bool, draws int, threshold, marginFloor float64) error {
+func runChaos(ctx context.Context, stdout io.Writer, specPath string, corpus int, perturb string, seed int64, workers int, jsonOut bool, draws int, threshold, marginFloor float64) error {
 	var scs []rb.Scenario
 	var err error
 	switch {
@@ -458,6 +492,7 @@ func runChaos(stdout io.Writer, specPath string, corpus int, perturb string, see
 		FlipThreshold: threshold,
 		MarginFloor:   marginFloor,
 		Workers:       workers,
+		Ctx:           ctx,
 	}
 	if perturb != "" {
 		opt.Stacks, err = rb.ParseChaosStacks(perturb)
@@ -481,6 +516,9 @@ func runChaos(stdout io.Writer, specPath string, corpus int, perturb string, see
 	if rep.Unstable > 0 {
 		return fmt.Errorf("chaos: %d unstable cell(s) — advised winner does not survive perturbation", rep.Unstable)
 	}
+	if rep.Degraded > 0 {
+		return fmt.Errorf("%w: chaos: %d perturbed advisement(s) priced on fallback routes", errDegraded, rep.Degraded)
+	}
 	return nil
 }
 
@@ -502,7 +540,7 @@ type rareArgs struct {
 // A row that misses the -target precision is returned as an error so the
 // process exits non-zero: an estimate too wide to trust must not look like
 // success in a pipeline.
-func runRare(stdout io.Writer, a rareArgs) error {
+func runRare(ctx context.Context, stdout io.Writer, a rareArgs) error {
 	var scs []rb.Scenario
 	var err error
 	switch {
@@ -550,6 +588,7 @@ func runRare(stdout io.Writer, a rareArgs) error {
 		Splits:  a.splits,
 		Target:  a.target,
 		Workers: a.workers,
+		Ctx:     ctx,
 	}
 	rep, err := rb.RareSweep(scs, opt)
 	if err != nil {
@@ -577,7 +616,7 @@ func runRare(stdout io.Writer, a rareArgs) error {
 // the discipline's dedicated grid. -rare swaps in the rare-event overlap
 // grid and runs only the rare check family: the focused gate proving the
 // variance-reduced estimators against the exact solvers.
-func runXVal(stdout io.Writer, quick bool, seed int64, workers int, jsonOut bool, strategyName string, rareOnly bool) error {
+func runXVal(ctx context.Context, stdout io.Writer, quick bool, seed int64, workers int, jsonOut bool, strategyName string, rareOnly bool) error {
 	grid := rb.XValFullGrid()
 	if quick {
 		grid = rb.XValShortGrid()
@@ -588,6 +627,7 @@ func runXVal(stdout io.Writer, quick bool, seed int64, workers int, jsonOut bool
 	var opt rb.XValOptions
 	opt.Workers = workers
 	opt.RareOnly = rareOnly
+	opt.Ctx = ctx
 	if strategyName != "" {
 		st, err := rb.ParseScenarioStrategy(strategyName)
 		if err != nil {

@@ -243,7 +243,7 @@ func TestFacadeExperimentsSmoke(t *testing.T) {
 
 func TestFacadeChaosHarness(t *testing.T) {
 	catalog := ChaosPerturbations()
-	if len(catalog) != 4 {
+	if len(catalog) != 5 {
 		t.Fatalf("perturbation catalog: %+v", catalog)
 	}
 	for _, info := range catalog {

@@ -101,6 +101,7 @@ func init() {
 	Register(burst{})
 	Register(costInflate{})
 	Register(straggler{})
+	Register(solverFault{})
 }
 
 // All returns every registered perturbation in registration order (a copy).
@@ -166,6 +167,25 @@ func (s Stack) Magnitude() float64 {
 	return total
 }
 
+// FaultDepth translates the stack's solver-fault layers into the forced
+// guard-ladder depth the stability sweep installs on perturbed draws:
+// max(1, ⌊Σ solver-fault magnitudes⌋) when any such layer is present, 0
+// otherwise (no fault injection).
+func (s Stack) FaultDepth() int {
+	total := 0.0
+	found := false
+	for _, l := range s {
+		if _, ok := l.Perturbation.(solverFault); ok {
+			found = true
+			total += l.Magnitude
+		}
+	}
+	if !found {
+		return 0
+	}
+	return max(1, int(total))
+}
+
 // Validate rejects empty stacks and out-of-bound magnitudes.
 func (s Stack) Validate() error {
 	if len(s) == 0 {
@@ -180,11 +200,16 @@ func (s Stack) Validate() error {
 }
 
 // DefaultStacks returns the default adversary set: every registered
-// perturbation alone at DefaultMagnitude — the baseline `rbrepro chaos`
-// sweep and the CI corpus gate.
+// workload perturbation alone at DefaultMagnitude — the baseline
+// `rbrepro chaos` sweep and the CI corpus gate. Perturbations that attack
+// the solver rather than the workload (solver-fault) are excluded: they
+// belong to dedicated resilience sweeps that opt in via -perturb.
 func DefaultStacks() []Stack {
 	out := make([]Stack, 0, len(registry.order))
 	for _, p := range registry.order {
+		if _, solverSide := p.(interface{ nonDefault() }); solverSide {
+			continue
+		}
 		out = append(out, Stack{{Perturbation: p, Magnitude: DefaultMagnitude}})
 	}
 	return out
@@ -352,6 +377,28 @@ func (costInflate) Apply(sc scenario.Scenario, mag float64, rng *dist.Stream) sc
 	}
 	return sc
 }
+
+// solverFault is the numerical-route adversary: instead of moving workload
+// parameters it forces the advisor's recovery blocks off their primary
+// routes. Apply is the identity on the scenario — the fault rides the
+// context instead: the stability sweep translates the layer's magnitude into
+// a guard.FaultSpec (depth max(1, ⌊magnitude⌋), see Stack.FaultDepth)
+// installed on the perturbed draws only. Any winner flip under this stack is
+// therefore pure fallback-route disagreement: the workload is untouched, only
+// the routes that price it changed.
+type solverFault struct{}
+
+func (solverFault) Name() string { return "solver-fault" }
+func (solverFault) Describe() string {
+	return "force the advisor's numerical recovery blocks off their primary routes: magnitude m injects acceptance failures into the first max(1, floor(m)) ladder rungs"
+}
+
+func (solverFault) Apply(sc scenario.Scenario, _ float64, _ *dist.Stream) scenario.Scenario {
+	return sc
+}
+
+// nonDefault keeps solver-fault out of DefaultStacks (see there).
+func (solverFault) nonDefault() {}
 
 // straggler deflates one random process's recovery-point rate μ_i — the slow
 // replica. Stragglers are the adversary of every synchronized discipline

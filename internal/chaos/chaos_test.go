@@ -32,7 +32,7 @@ func baseScenario() scenario.Scenario {
 }
 
 func TestRegistryCatalog(t *testing.T) {
-	want := []string{"error-spike", "burst", "cost-inflate", "straggler"}
+	want := []string{"error-spike", "burst", "cost-inflate", "straggler", "solver-fault"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
@@ -153,13 +153,28 @@ func TestStackMagnitudeSums(t *testing.T) {
 }
 
 func TestDefaultStacksCoverCatalog(t *testing.T) {
-	stacks := DefaultStacks()
-	if len(stacks) != len(Names()) {
-		t.Fatalf("DefaultStacks() = %d stacks, want one per perturbation (%d)", len(stacks), len(Names()))
+	// Every registered workload perturbation gets a default stack;
+	// solver-side perturbations (solver-fault) must stay out of the default
+	// adversary set — they opt in via -perturb.
+	var want []string
+	for _, p := range All() {
+		if _, solverSide := p.(interface{ nonDefault() }); solverSide {
+			continue
+		}
+		want = append(want, p.Name())
 	}
-	for i, name := range Names() {
+	stacks := DefaultStacks()
+	if len(stacks) != len(want) {
+		t.Fatalf("DefaultStacks() = %d stacks, want one per workload perturbation (%d)", len(stacks), len(want))
+	}
+	for i, name := range want {
 		if len(stacks[i]) != 1 || stacks[i][0].Perturbation.Name() != name || stacks[i][0].Magnitude != DefaultMagnitude {
 			t.Errorf("DefaultStacks()[%d] = %s, want %s:%v alone", i, stacks[i], name, DefaultMagnitude)
+		}
+	}
+	for _, s := range stacks {
+		if s.FaultDepth() != 0 {
+			t.Errorf("default stack %s injects solver faults", s)
 		}
 	}
 }

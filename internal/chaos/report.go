@@ -52,18 +52,25 @@ type CellResult struct {
 	MeanMarginRel float64               `json:"mean_margin_rel"`
 	MarginErosion float64               `json:"margin_erosion"`
 	Sensitivity   []StrategySensitivity `json:"sensitivity"`
+	// DegradedDraws counts the perturbed draws whose advice carried non-exact
+	// confidence (a recovery block fell back to an alternate route) — always
+	// the full draw count under a solver-fault stack, normally 0 elsewhere.
+	DegradedDraws int `json:"degraded_draws,omitempty"`
 }
 
 // ScenarioStability is one scenario's slice of the report: the clean advice
 // and every stack's cell.
 type ScenarioStability struct {
 	Scenario string `json:"scenario"`
-	// Winner, Margin and MarginRel echo the clean (unperturbed) advice.
-	Winner    string       `json:"winner"`
-	Margin    float64      `json:"margin"`
-	MarginRel float64      `json:"margin_rel"`
-	Cells     []CellResult `json:"cells"`
-	Unstable  int          `json:"unstable"`
+	// Winner, Margin and MarginRel echo the clean (unperturbed) advice;
+	// Confidence its provenance label (omitted when every clean number came
+	// from its primary route).
+	Winner     string       `json:"winner"`
+	Margin     float64      `json:"margin"`
+	MarginRel  float64      `json:"margin_rel"`
+	Confidence string       `json:"confidence,omitempty"`
+	Cells      []CellResult `json:"cells"`
+	Unstable   int          `json:"unstable"`
 }
 
 // Report is the outcome of a stability sweep — the machine-readable artifact
@@ -78,9 +85,12 @@ type Report struct {
 	Draws         int     `json:"draws"`
 	// Cells is the number of (scenario, stack) tests; Unstable and
 	// KnifeEdge count their verdicts.
-	Cells     int                 `json:"cells"`
-	Unstable  int                 `json:"unstable"`
-	KnifeEdge int                 `json:"knife_edge"`
+	Cells     int `json:"cells"`
+	Unstable  int `json:"unstable"`
+	KnifeEdge int `json:"knife_edge"`
+	// Degraded totals the cells' DegradedDraws: perturbed advisements built
+	// on fallback routes rather than primary solves.
+	Degraded  int                 `json:"degraded,omitempty"`
 	Scenarios []ScenarioStability `json:"scenarios"`
 }
 
@@ -117,6 +127,9 @@ func (r *Report) Format() string {
 		fmt.Fprintf(&b, "\nall rankings stable: no significant winner flip beyond threshold (%d knife-edge cell(s) reported)\n", r.KnifeEdge)
 	} else {
 		fmt.Fprintf(&b, "\n%d UNSTABLE cell(s) — the advised winner does not survive perturbation; see rows marked UNSTABLE\n", r.Unstable)
+	}
+	if r.Degraded > 0 {
+		fmt.Fprintf(&b, "%d perturbed advisement(s) priced on fallback routes (degraded confidence)\n", r.Degraded)
 	}
 	return b.String()
 }

@@ -1,11 +1,13 @@
 package chaos
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/guard"
 	"recoveryblocks/internal/mc"
 	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/scenario"
@@ -70,9 +72,16 @@ type Options struct {
 	// Workers sets the scenario-level fan-out across the internal/mc pool
 	// (0 = all CPUs). Results are bit-identical for every value.
 	Workers int
+	// Ctx carries cancellation into the sweep's advisor solves; nil means
+	// context.Background(). Stacks containing solver-fault layers derive
+	// their fault-injected draw contexts from it.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	if o.Alpha == 0 {
 		o.Alpha = DefaultAlpha
 	}
@@ -148,13 +157,16 @@ func Run(scenarios []scenario.Scenario, opt Options) (*Report, error) {
 		res ScenarioStability
 		err error
 	}
-	outs := mc.Map(scenarios, opt.Workers, func(_ int, sc scenario.Scenario) out {
+	outs, err := mc.MapCtx(opt.Ctx, scenarios, opt.Workers, func(_ int, sc scenario.Scenario) out {
 		res, err := analyzeScenario(sc, opt, crit)
 		if err != nil {
 			return out{err: fmt.Errorf("chaos: scenario %q: %w", sc.Name, err)}
 		}
 		return out{res: res}
 	})
+	if err != nil {
+		return nil, err // cancellation: a real abort
+	}
 
 	rep := &Report{
 		Alpha:         opt.Alpha,
@@ -175,6 +187,7 @@ func Run(scenarios []scenario.Scenario, opt Options) (*Report, error) {
 			if c.KnifeEdge && c.Significant {
 				rep.KnifeEdge++
 			}
+			rep.Degraded += c.DegradedDraws
 		}
 		rep.Scenarios = append(rep.Scenarios, o.res)
 	}
@@ -203,17 +216,22 @@ func cellFloor(opt Options, stack Stack) float64 {
 }
 
 // analyzeScenario runs the clean + perturbed advisor solves of one scenario
-// and judges each stack's cell.
+// and judges each stack's cell. The clean solve always runs fault-free on the
+// sweep's base context; stacks with solver-fault layers get their fault
+// policy installed on the perturbed draws' context only, so clean and
+// perturbed advisements never contaminate each other even though they run on
+// the same pool.
 func analyzeScenario(sc scenario.Scenario, opt Options, crit float64) (ScenarioStability, error) {
-	clean, err := scenario.Advise(sc)
+	clean, err := scenario.AdviseCtx(opt.Ctx, sc)
 	if err != nil {
 		return ScenarioStability{}, err
 	}
 	res := ScenarioStability{
-		Scenario:  sc.Name,
-		Winner:    string(clean.Winner),
-		Margin:    clean.Margin,
-		MarginRel: clean.MarginRel,
+		Scenario:   sc.Name,
+		Winner:     string(clean.Winner),
+		Margin:     clean.Margin,
+		MarginRel:  clean.MarginRel,
+		Confidence: clean.Confidence,
 	}
 	cleanRate := make(map[string]float64, len(clean.Ranking))
 	for _, m := range clean.Ranking {
@@ -227,6 +245,13 @@ func analyzeScenario(sc scenario.Scenario, opt Options, crit float64) (ScenarioS
 			Crit:  crit,
 			Floor: cellFloor(opt, stack),
 		}
+		// Solver-fault layers ride the context, not the scenario: the draw
+		// context forces the first FaultDepth rungs of every guard ladder the
+		// perturbed advisement runs.
+		drawCtx := opt.Ctx
+		if depth := stack.FaultDepth(); depth > 0 {
+			drawCtx = guard.WithFaults(opt.Ctx, guard.FaultSpec{Depth: depth})
+		}
 		// Per-strategy overhead deltas accumulate across draws, keyed in the
 		// clean ranking's order so the report rows are deterministic.
 		sens := make([]StrategySensitivity, len(clean.Ranking))
@@ -237,12 +262,15 @@ func analyzeScenario(sc scenario.Scenario, opt Options, crit float64) (ScenarioS
 		for d := 0; d < opt.Draws; d++ {
 			rng := dist.Substream(sc.Seed+chaosSeedOffset, si*opt.Draws+d)
 			perturbed := stack.Apply(sc, rng)
-			adv, err := scenario.Advise(perturbed)
+			adv, err := scenario.AdviseCtx(drawCtx, perturbed)
 			if err != nil {
 				return ScenarioStability{}, fmt.Errorf("stack %s draw %d: %w", cell.Stack, d, err)
 			}
 			if adv.Winner != clean.Winner {
 				cell.Flips++
+			}
+			if adv.Confidence != scenario.ConfidenceExact {
+				cell.DegradedDraws++
 			}
 			marginSum += adv.MarginRel
 			for i := range sens {

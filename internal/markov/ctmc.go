@@ -7,10 +7,12 @@
 package markov
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"recoveryblocks/internal/guard"
 	"recoveryblocks/internal/linalg"
 	"recoveryblocks/internal/obs"
 )
@@ -176,15 +178,12 @@ const (
 // time from the given start state, by solving Q_T·m1 = −1 and Q_T·m2 = −2·m1
 // on the transient generator. It fails if some transient state cannot reach
 // an absorbing state (singular system). State spaces below SparseCutoff take
-// the dense LU route; larger ones the sparse iterative route.
+// the dense LU route; larger ones the sparse iterative route — and every
+// solve runs inside the recovery-block ladder of AbsorptionMomentsCtx, so a
+// rejected or failed route falls through to the next one instead of
+// propagating a bad number.
 func (c *CTMC) AbsorptionMoments(start int) (m1, m2 float64, err error) {
-	if c.absorbing[start] {
-		return 0, 0, nil
-	}
-	if c.transientCount() < SparseCutoff {
-		return c.AbsorptionMomentsDense(start)
-	}
-	return c.AbsorptionMomentsSparse(start)
+	return c.AbsorptionMomentsCtx(context.Background(), start)
 }
 
 // transientCount returns the number of non-absorbing states.
@@ -205,8 +204,20 @@ func (c *CTMC) AbsorptionMomentsDense(start int) (m1, m2 float64, err error) {
 	if c.absorbing[start] {
 		return 0, 0, nil
 	}
-	obs.C("markov_solve_dense_total").Inc()
 	idx, order := c.transientIndex()
+	h, h2, err := c.momentVectorsDense(idx, order)
+	if err != nil {
+		return 0, 0, err
+	}
+	k := idx[start]
+	return h[k], h2[k], nil
+}
+
+// momentVectorsDense solves both moment systems by dense LU and returns the
+// full solution vectors (indexed by transient order) so the guard's
+// acceptance test can bound their residuals.
+func (c *CTMC) momentVectorsDense(idx, order []int) (h, h2 []float64, err error) {
+	obs.C("markov_solve_dense_total").Inc()
 	nt := len(order)
 	q := linalg.NewMatrix(nt, nt)
 	for k, u := range order {
@@ -219,25 +230,24 @@ func (c *CTMC) AbsorptionMomentsDense(start int) (m1, m2 float64, err error) {
 	}
 	f, err := linalg.Factor(q)
 	if err != nil {
-		return 0, 0, fmt.Errorf("markov: absorption unreachable from some state: %w", err)
+		return nil, nil, guard.Invalidf("markov: absorption unreachable from some state: %v", err)
 	}
 	rhs := make([]float64, nt)
 	for i := range rhs {
 		rhs[i] = -1
 	}
-	h, err := f.Solve(rhs)
+	h, err = f.Solve(rhs)
 	if err != nil {
-		return 0, 0, err
+		return nil, nil, err
 	}
 	for i := range rhs {
 		rhs[i] = -2 * h[i]
 	}
-	h2, err := f.Solve(rhs)
+	h2, err = f.Solve(rhs)
 	if err != nil {
-		return 0, 0, err
+		return nil, nil, err
 	}
-	k := idx[start]
-	return h[k], h2[k], nil
+	return h, h2, nil
 }
 
 // AbsorptionMomentsSparse solves the same two systems on a CSR copy of the
@@ -254,30 +264,40 @@ func (c *CTMC) AbsorptionMomentsSparse(start int) (m1, m2 float64, err error) {
 	if c.absorbing[start] {
 		return 0, 0, nil
 	}
-	obs.C("markov_solve_sparse_total").Inc()
 	idx, order := c.transientIndex()
-	q, agg, nAgg, err := c.transientCSR(idx, order, false)
+	h, h2, err := c.momentVectorsSparse(idx, order)
 	if err != nil {
 		return 0, 0, err
+	}
+	k := idx[start]
+	return h[k], h2[k], nil
+}
+
+// momentVectorsSparse is the iterative counterpart of momentVectorsDense:
+// both systems solved by the aggregated Gauss–Seidel route, full vectors out.
+func (c *CTMC) momentVectorsSparse(idx, order []int) (h, h2 []float64, err error) {
+	obs.C("markov_solve_sparse_total").Inc()
+	q, agg, nAgg, err := c.transientCSR(idx, order, false)
+	if err != nil {
+		return nil, nil, err
 	}
 	nt := len(order)
 	rhs := make([]float64, nt)
 	for i := range rhs {
 		rhs[i] = -1
 	}
-	h, _, err := q.SolveTwoLevelGS(rhs, agg, nAgg, gsTol, gsMaxIter)
+	h, _, err = q.SolveTwoLevelGS(rhs, agg, nAgg, gsTol, gsMaxIter)
 	if err != nil {
-		return 0, 0, fmt.Errorf("markov: sparse absorption solve: %w", err)
+		return nil, nil, guard.Numericalf("markov: sparse absorption solve: %v", err)
 	}
 	for i := range rhs {
 		rhs[i] = -2 * h[i]
 	}
-	h2, _, err := q.SolveTwoLevelGS(rhs, agg, nAgg, gsTol, gsMaxIter)
+	h2, _, err = q.SolveTwoLevelGS(rhs, agg, nAgg, gsTol, gsMaxIter)
 	if err != nil {
-		return 0, 0, fmt.Errorf("markov: sparse absorption solve (second moment): %w", err)
+		return nil, nil, guard.Numericalf("markov: sparse absorption solve (second moment): %v", err)
 	}
-	k := idx[start]
-	return h[k], h2[k], nil
+	return h, h2, nil
 }
 
 // transientCSR assembles the transient generator Q_T (or its transpose) in
@@ -330,7 +350,7 @@ func (c *CTMC) transientCSR(idx, order []int, transpose bool) (q *linalg.CSR, ag
 	}
 	for k, d := range dist {
 		if d < 0 {
-			return nil, nil, 0, fmt.Errorf("markov: absorption unreachable from state %d", order[k])
+			return nil, nil, 0, guard.Invalidf("markov: absorption unreachable from state %d", order[k])
 		}
 		if d+1 > nAgg {
 			nAgg = d + 1

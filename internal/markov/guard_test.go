@@ -1,0 +1,171 @@
+package markov
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"recoveryblocks/internal/guard"
+)
+
+// ladderChain builds a birth–death absorbing chain with n transient states:
+// state i moves up at rate 2 (toward absorption at state n) and back down at
+// rate 1, so absorption is certain but paths wander. Its moments have no
+// simple closed form, which is exactly what the cross-route agreement tests
+// want: four independent numerical routes to one number.
+func ladderChain(n int) *CTMC {
+	c := NewCTMC(n + 1)
+	for i := 0; i < n; i++ {
+		c.AddRate(i, i+1, 2)
+		if i > 0 {
+			c.AddRate(i, i-1, 1)
+		}
+	}
+	c.SetAbsorbing(n)
+	return c
+}
+
+// TestMomentLadderRouteAgreement forces each rung of the absorption-moment
+// ladder in turn and checks every alternate reproduces the primary's answer:
+// the exact routes to solver tolerance, the Monte Carlo estimate to a few
+// standard errors of its own noise (the xval-style equivalence bound).
+func TestMomentLadderRouteAgreement(t *testing.T) {
+	c := ladderChain(40)
+	m1, m2, err := c.AbsorptionMoments(0)
+	if err != nil {
+		t.Fatalf("healthy solve: %v", err)
+	}
+
+	for depth := 1; depth <= 3; depth++ {
+		ctx := guard.WithFaults(context.Background(), guard.FaultSpec{Depth: depth})
+		rec := &guard.Recorder{}
+		ctx = guard.WithRecorder(ctx, rec)
+		f1, f2, err := c.AbsorptionMomentsCtx(ctx, 0)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		ev := rec.Events()
+		if len(ev) != 1 || ev[0].Attempt != depth {
+			t.Fatalf("depth %d: events = %+v, want one fallback at rung %d", depth, ev, depth)
+		}
+		var tol1, tol2 float64
+		if depth < 3 {
+			// Exact-quality rungs (sparse-GS, uniformization): solver tolerance.
+			tol1, tol2 = 1e-6*m1, 1e-6*m2
+			if ev[0].Degraded {
+				t.Fatalf("depth %d: exact rung flagged degraded", depth)
+			}
+		} else {
+			// MC estimate: var(T) = E[T²]−E[T]², SE = √(var/reps); allow 5 SE.
+			se := math.Sqrt((m2 - m1*m1) / mcMomentReps)
+			tol1 = 5 * se
+			tol2 = 5 * se * 3 * m1 // d(T²) ≈ 2T·dT, with slack
+			if !ev[0].Degraded {
+				t.Fatalf("depth 3: MC rung not flagged degraded")
+			}
+		}
+		if math.Abs(f1-m1) > tol1 {
+			t.Fatalf("depth %d: m1 = %v, want %v ± %v", depth, f1, m1, tol1)
+		}
+		if math.Abs(f2-m2) > tol2 {
+			t.Fatalf("depth %d: m2 = %v, want %v ± %v", depth, f2, m2, tol2)
+		}
+	}
+}
+
+// TestMomentLadderSaturatingDepth pins the acceptance criterion: at any
+// injection depth — chaos's max magnitude included — the solve still answers,
+// from the last (degraded) rung.
+func TestMomentLadderSaturatingDepth(t *testing.T) {
+	c := ladderChain(12)
+	ctx := guard.WithFaults(context.Background(), guard.FaultSpec{Depth: 16})
+	rec := &guard.Recorder{}
+	ctx = guard.WithRecorder(ctx, rec)
+	m1, _, err := c.AbsorptionMomentsCtx(ctx, 0)
+	if err != nil {
+		t.Fatalf("saturating depth: %v", err)
+	}
+	if !rec.Degraded() {
+		t.Fatal("saturating depth must land on the degraded rung")
+	}
+	if !(m1 > 0) || math.IsInf(m1, 0) {
+		t.Fatalf("m1 = %v, want positive finite", m1)
+	}
+}
+
+func TestMomentLadderLargeChainStartsSparse(t *testing.T) {
+	c := ladderChain(SparseCutoff + 10) // transient count past the cutoff
+	want1, want2, err := c.AbsorptionMomentsDense(0)
+	if err != nil {
+		t.Fatalf("dense reference: %v", err)
+	}
+	// Depth 1 on a sparse-primary ladder lands on uniformization.
+	ctx := guard.WithFaults(context.Background(), guard.FaultSpec{Depth: 1})
+	rec := &guard.Recorder{}
+	ctx = guard.WithRecorder(ctx, rec)
+	m1, m2, err := c.AbsorptionMomentsCtx(ctx, 0)
+	if err != nil {
+		t.Fatalf("depth 1: %v", err)
+	}
+	ev := rec.Events()
+	if len(ev) != 1 || ev[0].Route != "uniformization" {
+		t.Fatalf("events = %+v, want uniformization fallback", ev)
+	}
+	if math.Abs(m1-want1) > 1e-6*want1 || math.Abs(m2-want2) > 1e-6*want2 {
+		t.Fatalf("uniformization moments (%v, %v) disagree with dense (%v, %v)", m1, m2, want1, want2)
+	}
+}
+
+func TestMomentLadderUnreachableAbsorptionAborts(t *testing.T) {
+	c := NewCTMC(3)
+	c.AddRate(0, 1, 1)
+	c.AddRate(1, 0, 1) // states 0,1 cycle; absorbing state 2 unreachable
+	c.SetAbsorbing(2)
+	_, _, err := c.AbsorptionMoments(0)
+	if !errors.Is(err, guard.ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid (structural, no ladder walk)", err)
+	}
+}
+
+func TestMomentLadderCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := ladderChain(8).AbsorptionMomentsCtx(ctx, 0)
+	if !errors.Is(err, guard.ErrBudget) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrBudget wrapping Canceled", err)
+	}
+}
+
+// TestMomentMCDeterministic pins the last-resort estimate's reproducibility:
+// it draws from fixed internal substreams, so repeated runs are bit-equal.
+func TestMomentMCDeterministic(t *testing.T) {
+	c := ladderChain(10)
+	a, err := func() (momentSolution, error) { return c.absorptionMomentsMC(context.Background(), 0) }()
+	if err != nil {
+		t.Fatalf("mc: %v", err)
+	}
+	b, err := c.absorptionMomentsMC(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("mc: %v", err)
+	}
+	if a.m1 != b.m1 || a.m2 != b.m2 {
+		t.Fatalf("MC estimate not deterministic: (%v,%v) vs (%v,%v)", a.m1, a.m2, b.m1, b.m2)
+	}
+}
+
+// TestUniformizedMomentsMassConservation exercises the third rung directly on
+// a chain with an exact answer: a pure Exp(λ) absorption has E[T] = 1/λ and
+// E[T²] = 2/λ².
+func TestUniformizedMomentsMassConservation(t *testing.T) {
+	c := NewCTMC(2)
+	c.AddRate(0, 1, 4)
+	c.SetAbsorbing(1)
+	s, err := c.absorptionMomentsUniformized(context.Background(), 0)
+	if err != nil {
+		t.Fatalf("uniformized: %v", err)
+	}
+	if math.Abs(s.m1-0.25) > 1e-10 || math.Abs(s.m2-0.125) > 1e-10 {
+		t.Fatalf("moments (%v, %v), want (0.25, 0.125)", s.m1, s.m2)
+	}
+}

@@ -35,6 +35,7 @@ var Catalog = []Def{
 	{Name: "mc_runs_total", Kind: KindCounter, Help: "Monte Carlo engine invocations that executed at least one block"},
 	{Name: "mc_blocks_total", Kind: KindCounter, Help: "replication blocks executed by the Monte Carlo worker pool"},
 	{Name: "mc_map_items_total", Kind: KindCounter, Help: "independent grid items fanned out through mc.Map"},
+	{Name: "mc_block_panics_total", Kind: KindCounter, Help: "replication blocks whose panic was captured and converted to a typed error"},
 
 	// Simulators (internal/sim).
 	{Name: "sim_async_intervals_total", Kind: KindCounter, Help: "recovery-line intervals observed by the asynchronous simulator"},
@@ -46,6 +47,7 @@ var Catalog = []Def{
 	{Name: "markov_solve_dense_total", Kind: KindCounter, Help: "absorbing-chain solves routed to the dense LU path"},
 	{Name: "markov_solve_sparse_total", Kind: KindCounter, Help: "absorbing-chain solves routed to the CSR two-level Gauss–Seidel path"},
 	{Name: "markov_uniformization_matvecs_total", Kind: KindCounter, Help: "uniformized transient-solve matrix–vector products"},
+	{Name: "markov_solve_mc_total", Kind: KindCounter, Help: "absorbing-chain solves that fell back to the last-resort jump-chain Monte Carlo estimate"},
 	{Name: "linalg_csr_builds_total", Kind: KindCounter, Help: "CSR matrices assembled"},
 	{Name: "linalg_csr_nnz", Kind: KindHistogram, Help: "nonzeros per assembled CSR matrix"},
 	{Name: "linalg_gs_sweeps_total", Kind: KindCounter, Help: "two-level Gauss–Seidel sweeps across all sparse solves"},
@@ -76,12 +78,26 @@ var Catalog = []Def{
 	{Name: "chaos_flips_total", Kind: KindCounter, Help: "perturbed draws whose advised winner flipped"},
 	{Name: "chaos_perturb_layers_total", Kind: KindCounter, Help: "perturbation layers applied to scenario draws"},
 
+	// Recovery-block guard (internal/guard). Deterministic: the ladder a
+	// solve walks depends only on the inputs and any injected fault spec,
+	// never on scheduling.
+	{Name: "guard_blocks_total", Kind: KindCounter, Help: "recovery blocks executed"},
+	{Name: "guard_fallbacks_total", Kind: KindCounter, Help: "blocks whose accepted value came from an alternate route"},
+	{Name: "guard_rejects_total", Kind: KindCounter, Help: "acceptance-test rejections (including injected faults)"},
+	{Name: "guard_forced_failures_total", Kind: KindCounter, Help: "rungs force-failed by an injected fault spec"},
+	{Name: "guard_panics_total", Kind: KindCounter, Help: "panics captured inside guard attempts"},
+	{Name: "guard_exhausted_total", Kind: KindCounter, Help: "blocks that failed every rung of their ladder"},
+	{Name: "guard_fallback_depth", Kind: KindHistogram, Help: "accepted ladder index per block (0 = primary)",
+		Buckets: []float64{0, 1, 2, 3, 4}},
+	{Name: "scenario_quarantined_total", Kind: KindCounter, Help: "scenarios quarantined by the batch runner instead of aborting the corpus"},
+
 	// Runtime section: scheduling- and clock-dependent by nature.
 	{Name: "mc_workers", Kind: KindGauge, Runtime: true, Help: "resolved worker-pool size of the most recent parallel Monte Carlo run"},
 	{Name: "mc_imbalance_blocks", Kind: KindGauge, Runtime: true, Help: "largest per-run spread (max−min) of blocks executed per worker"},
 	{Name: "mc_worker_blocks", Kind: KindHistogram, Runtime: true, Help: "blocks executed per worker per parallel run"},
 	{Name: "mc_worker_busy_seconds", Kind: KindHistogram, Runtime: true, Help: "busy time per worker per parallel run (queue wait is run wall time minus busy time)"},
 	{Name: "mc_run_seconds", Kind: KindHistogram, Runtime: true, Help: "wall time per Monte Carlo engine run"},
+	{Name: "guard_budget_exhausted_total", Kind: KindCounter, Runtime: true, Help: "blocks abandoned because their wall-clock budget or context expired"},
 }
 
 // LookupDef resolves a metric name against the catalog: exact match first,

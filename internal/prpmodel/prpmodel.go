@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 
+	"recoveryblocks/internal/guard"
 	"recoveryblocks/internal/synch"
 )
 
@@ -134,8 +135,14 @@ type Comparison struct {
 // save cost saveCost. asyncEX must be supplied by the caller (it comes from
 // rbmodel, which this package must not import to stay cycle-free).
 func Compare(n int, mu, saveCost, asyncEX float64) (Comparison, error) {
-	if n < 1 || mu <= 0 {
-		return Comparison{}, errors.New("prpmodel: need n ≥ 1 and μ > 0")
+	if n < 1 || mu <= 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return Comparison{}, guard.Numericalf("prpmodel: need n ≥ 1 and finite μ > 0 (got n = %d, μ = %v)", n, mu)
+	}
+	if saveCost < 0 || math.IsNaN(saveCost) || math.IsInf(saveCost, 0) {
+		return Comparison{}, guard.Numericalf("prpmodel: save cost %v must be nonnegative and finite", saveCost)
+	}
+	if math.IsNaN(asyncEX) || math.IsInf(asyncEX, 0) || asyncEX < 0 {
+		return Comparison{}, guard.Numericalf("prpmodel: async E[X] %v must be nonnegative and finite", asyncEX)
 	}
 	rates := make([]float64, n)
 	for i := range rates {

@@ -1,0 +1,61 @@
+package rare
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"recoveryblocks/internal/guard"
+)
+
+// TestRouterForcedFaultFallsToSplitting is the rare-event fallback-chain
+// acceptance test: with the router's primary (importance sampling) rung
+// forced to fail, a deep-tail estimate that would have routed to IS must
+// come back from the splitting alternate — complete, labeled, and
+// statistically indistinguishable from the healthy-path answer.
+func TestRouterForcedFaultFallsToSplitting(t *testing.T) {
+	spec := uniformSpec(3, 1)
+	opt := Options{Reps: 10000, Seed: 23}
+	clean, err := Run(spec, 14, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Method != MethodIS {
+		t.Fatalf("healthy deep tail routed to %q, want is — the fault test needs an IS baseline", clean.Method)
+	}
+	faulted := opt
+	faulted.Ctx = guard.WithFaults(context.Background(), guard.FaultSpec{Depth: 1})
+	fb, err := Run(spec, 14, faulted)
+	if err != nil {
+		t.Fatalf("forced-fault run failed instead of degrading: %v", err)
+	}
+	if fb.Method != MethodSplit {
+		t.Fatalf("forced-fault run used %q, want split (note: %s)", fb.Method, fb.Note)
+	}
+	if !strings.Contains(fb.Note, "splitting") {
+		t.Errorf("fallback note does not say how it routed: %q", fb.Note)
+	}
+	if fb.Prob <= 0 || fb.Prob >= 1 || fb.StdErr <= 0 {
+		t.Fatalf("fallback estimate unusable: p=%v se=%v", fb.Prob, fb.StdErr)
+	}
+	// The alternate must agree with the healthy route to within joint
+	// sampling error — the same equivalence form the xval rare grid applies.
+	z := math.Abs(fb.Prob-clean.Prob) / math.Hypot(fb.StdErr, clean.StdErr)
+	if z > 5 {
+		t.Errorf("splitting fallback %v vs IS %v: z = %.2f", fb.Prob, clean.Prob, z)
+	}
+}
+
+// TestRunCancelledContextAborts pins the budget semantics at the rare-event
+// entry point: a dead context aborts with ErrBudget, never a degraded
+// estimate.
+func TestRunCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{Reps: 1000, Seed: 1, Ctx: ctx}
+	if _, err := Run(uniformSpec(2, 1), 8, opt); !errors.Is(err, guard.ErrBudget) {
+		t.Fatalf("cancelled Run returned %v, want ErrBudget", err)
+	}
+}

@@ -61,10 +61,12 @@
 package rare
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/guard"
 	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/stats"
 )
@@ -239,6 +241,19 @@ type Options struct {
 	Seed int64
 	// Workers is the worker-pool size (0 = all CPUs); never changes results.
 	Workers int
+	// Ctx carries cancellation and any injected guard.FaultSpec into the
+	// auto-router's recovery block. Nil means context.Background(). It never
+	// influences which number an estimator computes — only whether the run
+	// starts and which route of the router produces the estimate.
+	Ctx context.Context
+}
+
+// context returns the options' context, defaulting to Background.
+func (o Options) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // Normalize validates the options and applies defaults. It never panics,
@@ -388,6 +403,9 @@ func Run(spec Spec, deadline float64, opt Options) (Estimate, error) {
 	if math.IsNaN(deadline) || math.IsInf(deadline, 0) || deadline < 0 {
 		return Estimate{}, fmt.Errorf("rare: deadline = %v must be nonnegative and finite", deadline)
 	}
+	if cerr := opt.context().Err(); cerr != nil {
+		return Estimate{}, fmt.Errorf("rare: run cancelled: %w: %w", guard.ErrBudget, cerr)
+	}
 	obs.C("rare_runs_total").Inc()
 	h := deadline - spec.Offset
 	if h <= 0 {
@@ -461,9 +479,13 @@ func recordMethod(est Estimate) Estimate {
 }
 
 // route is the MethodAuto pilot logic: plain MC if the event is not
-// actually rare; splitting for reset-structured specs; otherwise the
-// defensive mixture, with splitting as the fallback when the mixture pilot
-// yields no usable estimate.
+// actually rare; splitting for reset-structured specs; otherwise a recovery
+// block whose primary is the defensive mixture and whose accepted alternate
+// is splitting — the fallback fires when the mixture pilot yields no usable
+// estimate (the primary rejects itself), when the mixture's production
+// estimate fails the acceptance test, or when an injected guard.FaultSpec
+// forces the primary off (the chaos solver-fault perturbation). The fallback
+// notes on the natural paths are byte-identical to the pre-guard router.
 func route(spec Spec, h float64, opt Options) (Estimate, error) {
 	obs.C("rare_route_auto_total").Inc()
 	pilotOpt := opt
@@ -494,18 +516,60 @@ func route(spec Spec, h float64, opt Options) (Estimate, error) {
 		est.MetTarget = meetsTarget(est.RelHW, opt.Target)
 		return est, nil
 	}
-	plan := planIS(spec, h, opt)
-	if plan.hits == 0 {
-		levels, lvlNote := pickSplits(spec, h, opt)
-		est := estimateSplit(spec, h, levels, opt)
-		est.Note = joinNotes(fmt.Sprintf("auto: splitting (MC pilot saw %d hits, no usable mixture pilot estimate); %s", hits, lvlNote), est.Note)
-		est.MetTarget = meetsTarget(est.RelHW, opt.Target)
-		return est, nil
+	// reason is shared between the rungs: the primary's self-rejection writes
+	// the natural-path wording, and the splitting alternate reads it to
+	// compose its note. Empty when the primary never got to explain itself
+	// (an injected fault skipped it, or acceptance rejected its estimate).
+	reason := ""
+	blk := guard.Block[Estimate]{
+		Name: "rare/router",
+		Primary: guard.Attempt[Estimate]{
+			Name: "is-mixture",
+			Run: func(context.Context) (Estimate, error) {
+				plan := planIS(spec, h, opt)
+				if plan.hits == 0 {
+					reason = fmt.Sprintf("MC pilot saw %d hits, no usable mixture pilot estimate", hits)
+					return Estimate{}, guard.Rejectedf("rare: %s", reason)
+				}
+				est := runPlan(spec, h, plan, opt, opt.Seed+seedOffMain)
+				est.Note = joinNotes(fmt.Sprintf("auto: importance sampling (MC pilot saw %d hits in %d reps)", hits, pilot.W.N()), plan.note)
+				return est, nil
+			},
+		},
+		Alternates: []guard.Attempt[Estimate]{{
+			Name: "splitting",
+			Run: func(context.Context) (Estimate, error) {
+				r := reason
+				if r == "" {
+					r = fmt.Sprintf("MC pilot saw %d hits; mixture route rejected", hits)
+				}
+				levels, lvlNote := pickSplits(spec, h, opt)
+				est := estimateSplit(spec, h, levels, opt)
+				est.Note = joinNotes(fmt.Sprintf("auto: splitting (%s); %s", r, lvlNote), est.Note)
+				return est, nil
+			},
+		}},
+		Accept: acceptEstimate,
 	}
-	est := runPlan(spec, h, plan, opt, opt.Seed+seedOffMain)
-	est.Note = joinNotes(fmt.Sprintf("auto: importance sampling (MC pilot saw %d hits in %d reps)", hits, pilot.W.N()), plan.note)
+	res, err := blk.Do(opt.context())
+	if err != nil {
+		return Estimate{}, err
+	}
+	est := res.Value
 	est.MetTarget = meetsTarget(est.RelHW, opt.Target)
 	return est, nil
+}
+
+// acceptEstimate is the router's acceptance test: a probability estimate must
+// be a number in [0, 1] with a usable (finite, nonnegative) standard error.
+func acceptEstimate(est Estimate) error {
+	if math.IsNaN(est.Prob) || est.Prob < 0 || est.Prob > 1 {
+		return guard.Rejectedf("rare: estimate %v outside [0, 1]", est.Prob)
+	}
+	if math.IsNaN(est.StdErr) || math.IsInf(est.StdErr, 0) || est.StdErr < 0 {
+		return guard.Rejectedf("rare: standard error %v unusable", est.StdErr)
+	}
+	return nil
 }
 
 // isPlan is a resolved importance-sampling configuration: down = 0 is the

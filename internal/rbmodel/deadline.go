@@ -3,6 +3,8 @@ package rbmodel
 import (
 	"errors"
 	"math"
+
+	"recoveryblocks/internal/guard"
 )
 
 // Section 5 of the paper argues that "the asynchronous method or a longer
@@ -17,8 +19,14 @@ import (
 // forms within d time units, so a failure at the wrong moment forces a
 // rollback (and re-execution) longer than the deadline.
 func (m *AsyncModel) DeadlineMissProb(d float64) (float64, error) {
+	if err := checkDeadline(d); err != nil {
+		return 0, err
+	}
 	if d < 0 {
 		return 1, nil
+	}
+	if math.IsInf(d, 1) {
+		return 0, nil // X is finite almost surely: absorption is certain
 	}
 	cdf := m.CDFX([]float64{d})
 	p := 1 - cdf[0]
@@ -30,8 +38,14 @@ func (m *AsyncModel) DeadlineMissProb(d float64) (float64, error) {
 
 // DeadlineMissProb for the lumped chain (large n).
 func (m *SymmetricModel) DeadlineMissProb(d float64) (float64, error) {
+	if err := checkDeadline(d); err != nil {
+		return 0, err
+	}
 	if d < 0 {
 		return 1, nil
+	}
+	if math.IsInf(d, 1) {
+		return 0, nil
 	}
 	cdf := m.Chain().AbsorptionCDF(pointMass(m.N+2, m.Entry()), []float64{d}, 1e-10)
 	p := 1 - cdf[0]
@@ -39,6 +53,17 @@ func (m *SymmetricModel) DeadlineMissProb(d float64) (float64, error) {
 		p = 0
 	}
 	return p, nil
+}
+
+// checkDeadline rejects the one deadline no convention covers: NaN. Without
+// the check a NaN horizon slips past every comparison below and poisons the
+// Poisson-weight truncation bound inside uniformization, yielding garbage
+// instead of a typed error the guard ladder can classify.
+func checkDeadline(d float64) error {
+	if math.IsNaN(d) {
+		return guard.Numericalf("rbmodel: deadline is NaN")
+	}
+	return nil
 }
 
 func pointMass(n, at int) []float64 {
@@ -51,7 +76,9 @@ func pointMass(n, at int) []float64 {
 // analytic CDF — e.g. QuantileX(0.99) is the rollback-distance budget a
 // designer must provision to cover 99 % of inter-line intervals.
 func (m *AsyncModel) QuantileX(q float64) (float64, error) {
-	if q <= 0 || q >= 1 {
+	// The NaN case must be explicit: both range comparisons are false for
+	// NaN, and without it the bisection below would run on garbage.
+	if math.IsNaN(q) || q <= 0 || q >= 1 {
 		return 0, errors.New("rbmodel: quantile must be in (0,1)")
 	}
 	mean, err := m.MeanX()

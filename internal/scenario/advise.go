@@ -1,9 +1,11 @@
 package scenario
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"recoveryblocks/internal/guard"
 	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/strategy"
 )
@@ -29,6 +31,22 @@ import (
 // their total and the ranking key.
 type StrategyMetrics = strategy.Metrics
 
+// Confidence labels how the advisor's numbers were computed. The zero value
+// (ConfidenceExact) is omitted from JSON so healthy reports are byte-identical
+// to those produced before recovery blocks existed.
+const (
+	// ConfidenceExact: every priced number came from its primary route.
+	ConfidenceExact = ""
+	// ConfidenceFallback: at least one number came from an exact alternate
+	// route (e.g. uniformization instead of the direct linear solve). The
+	// values are still solver-grade; only the route changed.
+	ConfidenceFallback = "fallback"
+	// ConfidenceDegraded: at least one number came from a degraded route
+	// (last-resort Monte Carlo): it carries estimator noise, and margins near
+	// zero should not be trusted to pick a winner.
+	ConfidenceDegraded = "degraded"
+)
+
 // Advice is the advisor's verdict for one scenario: every requested strategy
 // priced, ranked by OverheadRate, with the winner and its margins.
 type Advice struct {
@@ -41,6 +59,13 @@ type Advice struct {
 	// single strategy); MarginRel divides that by the winner's rate.
 	Margin    float64 `json:"margin"`
 	MarginRel float64 `json:"margin_rel"`
+	// Confidence is ConfidenceExact (omitted), ConfidenceFallback or
+	// ConfidenceDegraded — how the ranking's numbers were produced.
+	Confidence string `json:"confidence,omitempty"`
+	// FallbackRoutes names the recovery-block routes that replaced a primary
+	// ("markov/absorption-moments→uniformization", …), sorted; empty when
+	// every number is exact.
+	FallbackRoutes []string `json:"fallback_routes,omitempty"`
 }
 
 // Advise prices every requested strategy of the scenario through the
@@ -48,11 +73,22 @@ type Advice struct {
 // it is fast enough to call per request; RunScenarios embeds the same advice
 // next to the cross-checks that justify trusting it.
 func Advise(sc Scenario) (*Advice, error) {
+	return AdviseCtx(context.Background(), sc)
+}
+
+// AdviseCtx is Advise under an explicit context: cancellation and any
+// injected guard.FaultSpec flow into every chain solve, and a per-advisement
+// guard.Recorder watches the solves so the returned ranking is labelled with
+// its Confidence and the routes that fell back. The context's own recorder
+// (if any) is shadowed for the duration — each advisement owns its verdict.
+func AdviseCtx(ctx context.Context, sc Scenario) (*Advice, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	obs.C("scenario_advise_total").Inc()
+	rec := &guard.Recorder{}
 	w := sc.workload()
+	w.Ctx = guard.WithRecorder(ctx, rec)
 	adv := &Advice{Scenario: sc.Name}
 	for _, st := range sc.Strategies {
 		impl, ok := strategy.Lookup(st)
@@ -78,6 +114,13 @@ func Advise(sc Scenario) (*Advice, error) {
 		if adv.Ranking[0].OverheadRate > 0 {
 			adv.MarginRel = adv.Margin / adv.Ranking[0].OverheadRate
 		}
+	}
+	if events := rec.Events(); len(events) > 0 {
+		adv.Confidence = ConfidenceFallback
+		if rec.Degraded() {
+			adv.Confidence = ConfidenceDegraded
+		}
+		adv.FallbackRoutes = rec.Routes()
 	}
 	return adv, nil
 }

@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"recoveryblocks/internal/guard"
+)
+
+// TestAdviseCtxForcedFaultsDegradeButAgree is the fallback-chain acceptance
+// test at the advisor level: with the primary (and deeper) solver rungs
+// forced to fail, AdviseCtx must still produce a complete ranking, label its
+// provenance, and price every strategy close to the clean run — the exact
+// alternates agree to solver tolerance, the Monte Carlo rung to sampling
+// tolerance.
+func TestAdviseCtxForcedFaultsDegradeButAgree(t *testing.T) {
+	sc := baseScenario()
+	clean, err := Advise(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Confidence != ConfidenceExact || len(clean.FallbackRoutes) != 0 {
+		t.Fatalf("clean advice not exact: %q %v", clean.Confidence, clean.FallbackRoutes)
+	}
+	cases := []struct {
+		depth    int
+		wantConf string
+		relTol   float64
+	}{
+		// Depth 1 knocks out the dense solve: the sparse Gauss–Seidel
+		// alternate is exact, so the numbers agree to solver tolerance.
+		{1, ConfidenceFallback, 1e-6},
+		// A depth past every exact rung forces the Monte Carlo moment
+		// estimate — correct in expectation, judged at sampling tolerance.
+		{8, ConfidenceDegraded, 0.05},
+	}
+	for _, c := range cases {
+		ctx := guard.WithFaults(context.Background(), guard.FaultSpec{Depth: c.depth})
+		adv, err := AdviseCtx(ctx, sc)
+		if err != nil {
+			t.Fatalf("depth %d: %v", c.depth, err)
+		}
+		if adv.Confidence != c.wantConf {
+			t.Errorf("depth %d: confidence %q, want %q", c.depth, adv.Confidence, c.wantConf)
+		}
+		if len(adv.FallbackRoutes) == 0 || !strings.Contains(adv.FallbackRoutes[0], "markov/absorption-moments") {
+			t.Errorf("depth %d: fallback routes %v missing the moments ladder", c.depth, adv.FallbackRoutes)
+		}
+		if adv.Winner != clean.Winner {
+			t.Errorf("depth %d: winner %q, clean winner %q", c.depth, adv.Winner, clean.Winner)
+		}
+		if len(adv.Ranking) != len(clean.Ranking) {
+			t.Fatalf("depth %d: ranking has %d entries, clean %d", c.depth, len(adv.Ranking), len(clean.Ranking))
+		}
+		for i, m := range adv.Ranking {
+			ref := clean.Ranking[i]
+			if m.Strategy != ref.Strategy {
+				t.Errorf("depth %d: rank %d is %q, clean %q", c.depth, i, m.Strategy, ref.Strategy)
+				continue
+			}
+			if rel := math.Abs(m.OverheadRate-ref.OverheadRate) / ref.OverheadRate; rel > c.relTol {
+				t.Errorf("depth %d: %s overhead %v vs clean %v (rel %.3g > %.3g)",
+					c.depth, m.Strategy, m.OverheadRate, ref.OverheadRate, rel, c.relTol)
+			}
+		}
+	}
+}
+
+// TestAdviseCtxCancelledContextAborts pins the budget semantics: a dead
+// context must abort the advisement with an ErrBudget-classified error, not
+// degrade it onto fallback routes.
+func TestAdviseCtxCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := AdviseCtx(ctx, baseScenario()); !errors.Is(err, guard.ErrBudget) {
+		t.Fatalf("cancelled AdviseCtx returned %v, want ErrBudget", err)
+	}
+}
+
+// TestRunUnderForcedFaultsCrossChecksStillPass is the batch-level acceptance
+// test the ISSUE's resilience gate relies on: with every recovery block
+// forced onto its last (Monte Carlo) rung, the full scenario engine must
+// complete with zero quarantines, every advice labeled degraded, and every
+// model↔simulator cross-check still inside its equivalence tolerance — the
+// fallback numbers are good enough that the statistical oracle cannot tell
+// them from the exact ones.
+func TestRunUnderForcedFaultsCrossChecksStillPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full batch under forced faults")
+	}
+	sc := baseScenario()
+	sc.Reps = 4000
+	ctx := guard.WithFaults(context.Background(), guard.FaultSpec{Depth: 8})
+	rep, err := Run([]Scenario{sc}, Options{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures > 0 {
+		t.Errorf("%d cross-check failure(s) under forced faults", rep.Failures)
+	}
+	if rep.Quarantined != 0 {
+		t.Errorf("%d scenario(s) quarantined, want 0 — the last rung must always answer", rep.Quarantined)
+	}
+	if got := rep.Degraded(); got != 1 {
+		t.Errorf("Degraded() = %d, want 1", got)
+	}
+	for _, res := range rep.Scenarios {
+		if res.Advice.Confidence != ConfidenceDegraded {
+			t.Errorf("scenario %s confidence %q, want degraded", res.Summary.Name, res.Advice.Confidence)
+		}
+	}
+	if !strings.Contains(rep.Format(), "confidence: degraded") {
+		t.Error("Format() does not surface the degraded confidence")
+	}
+}
+
+// TestRunCancelledContextAborts: cancellation is an abort of the whole
+// batch, never a quarantine of its scenarios.
+func TestRunCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run([]Scenario{baseScenario()}, Options{Ctx: ctx}); !errors.Is(err, guard.ErrBudget) {
+		t.Fatalf("cancelled Run returned %v, want ErrBudget", err)
+	}
+}
+
+// TestReportFormatSurfacesQuarantine pins the partial-results rendering: a
+// quarantined scenario keeps its stub row and the footer counts it.
+func TestReportFormatSurfacesQuarantine(t *testing.T) {
+	rep := &Report{
+		Quarantined: 1,
+		Scenarios: []Result{
+			{Summary: Summary{Name: "dead", N: 3}, Error: "evaluation failed on every route"},
+		},
+	}
+	out := rep.Format()
+	for _, want := range []string{"QUARANTINED: evaluation failed on every route", "1 SCENARIO(S) QUARANTINED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+	if !rep.Scenarios[0].Quarantined() {
+		t.Error("Quarantined() = false on an error stub")
+	}
+	if rep.Degraded() != 1 {
+		t.Errorf("Degraded() = %d, want 1", rep.Degraded())
+	}
+}

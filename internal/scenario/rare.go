@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,11 +56,15 @@ func RareSweep(scenarios []Scenario, opt rare.Options) (*RareReport, error) {
 			return nil, fmt.Errorf("scenario %q: rare sweep needs a positive deadline", scenarios[i].Name)
 		}
 	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type out struct {
 		rows []RareRow
 		err  error
 	}
-	outs := mc.Map(scenarios, opt.Workers, func(_ int, sc Scenario) out {
+	outs, err := mc.MapCtx(ctx, scenarios, opt.Workers, func(_ int, sc Scenario) out {
 		tau := sc.SyncInterval
 		if sc.wants(StrategySync) || sc.wants(StrategySyncEveryK) {
 			var err error
@@ -69,6 +74,7 @@ func RareSweep(scenarios []Scenario, opt rare.Options) (*RareReport, error) {
 			}
 		}
 		w := sc.workload()
+		w.Ctx = ctx
 		w.SyncInterval = tau
 		w.OptimalSync = false
 		var rows []RareRow
@@ -104,6 +110,9 @@ func RareSweep(scenarios []Scenario, opt rare.Options) (*RareReport, error) {
 		}
 		return out{rows: rows}
 	})
+	if err != nil {
+		return nil, err // cancellation: a real abort
+	}
 	rep := &RareReport{Target: opt.Target}
 	for _, o := range outs {
 		if o.err != nil {

@@ -111,21 +111,43 @@ type Summary struct {
 }
 
 // Result is one scenario's full outcome: parameters, advice, cross-checks.
+// A quarantined scenario — one whose evaluation failed even after every
+// recovery-block alternate — carries only the spec echo and Error.
 type Result struct {
 	Summary  Summary `json:"summary"`
 	Advice   Advice  `json:"advice"`
 	Checks   []Check `json:"checks"`
 	Failures int     `json:"failures"`
+	// Error is the quarantine reason; empty for evaluated scenarios.
+	Error string `json:"error,omitempty"`
 }
+
+// Quarantined reports whether the scenario failed evaluation and was kept in
+// the report as a stub.
+func (r Result) Quarantined() bool { return r.Error != "" }
 
 // Report is the outcome of a batch run — the machine-readable artifact
 // `rbrepro scenario -json` emits and the golden files pin.
 type Report struct {
-	Alpha     float64  `json:"alpha"` // family-wise error rate requested
-	Crit      float64  `json:"crit"`  // Bonferroni critical value applied to every z
-	K         int      `json:"statistical_comparisons"`
-	Failures  int      `json:"failures"`
-	Scenarios []Result `json:"scenarios"`
+	Alpha       float64  `json:"alpha"` // family-wise error rate requested
+	Crit        float64  `json:"crit"`  // Bonferroni critical value applied to every z
+	K           int      `json:"statistical_comparisons"`
+	Failures    int      `json:"failures"`
+	Quarantined int      `json:"quarantined,omitempty"` // scenarios kept as error stubs
+	Scenarios   []Result `json:"scenarios"`
+}
+
+// Degraded counts the scenarios whose outcome is weaker than a clean exact
+// evaluation: quarantined, or advised with non-exact confidence. The CLI maps
+// a positive count to its degraded exit code.
+func (r *Report) Degraded() int {
+	n := r.Quarantined
+	for _, res := range r.Scenarios {
+		if !res.Quarantined() && res.Advice.Confidence != ConfidenceExact {
+			n++
+		}
+	}
+	return n
 }
 
 // Failed returns the checks that did not pass, across all scenarios.
@@ -157,6 +179,10 @@ func (r *Report) Format() string {
 	for _, res := range r.Scenarios {
 		s := res.Summary
 		fmt.Fprintf(&b, "\n--- %s ---\n", s.Name)
+		if res.Quarantined() {
+			fmt.Fprintf(&b, "QUARANTINED: %s\n", res.Error)
+			continue
+		}
 		fmt.Fprintf(&b, "n=%d  mu=%s  rho=%.4g  tau=%.4g%s", s.N, fvec(s.Mu), s.Rho, s.SyncInterval, optMark(s.OptimalSync))
 		if s.EveryK > 0 {
 			fmt.Fprintf(&b, "  k=%d", s.EveryK)
@@ -180,6 +206,10 @@ func (r *Report) Format() string {
 		w.Flush()
 		fmt.Fprintf(&b, "winner: %s (margin %.6f/t; runner-up costs %.1f%% more)\n",
 			res.Advice.Winner, res.Advice.Margin, 100*res.Advice.MarginRel)
+		if res.Advice.Confidence != ConfidenceExact {
+			fmt.Fprintf(&b, "confidence: %s — fallback routes: %s\n",
+				res.Advice.Confidence, strings.Join(res.Advice.FallbackRoutes, ", "))
+		}
 
 		w = tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
 		fmt.Fprintln(w, "check\tmodel\tsimulated\t±tol\tstat\tverdict")
@@ -203,6 +233,9 @@ func (r *Report) Format() string {
 		b.WriteString("\nall scenarios cross-check clean: every advised number agrees with its simulator\n")
 	} else {
 		fmt.Fprintf(&b, "\n%d CROSS-CHECK DISAGREEMENT(S) — do not trust the advice; see rows marked FAIL\n", r.Failures)
+	}
+	if r.Quarantined > 0 {
+		fmt.Fprintf(&b, "%d SCENARIO(S) QUARANTINED — evaluation failed on every route; their advice is missing\n", r.Quarantined)
 	}
 	return b.String()
 }

@@ -1,9 +1,11 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"recoveryblocks/internal/guard"
 	"recoveryblocks/internal/mc"
 	"recoveryblocks/internal/obs"
 	"recoveryblocks/internal/stats"
@@ -23,11 +25,19 @@ type Options struct {
 	// is itself deterministic, so results are bit-identical for every
 	// Workers value.
 	Workers int
+	// Ctx carries cancellation (CLI -timeout, Ctrl-C) and any injected
+	// guard.FaultSpec into every scenario's solves. Nil means
+	// context.Background(). Cancellation aborts the batch; per-scenario
+	// failures never do — they quarantine (see Run).
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
 	if o.Alpha == 0 {
 		o.Alpha = 1e-3
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
 	}
 	return o
 }
@@ -39,6 +49,12 @@ func (o Options) withDefaults() Options {
 // newly registered discipline is cross-checked here with no change to this
 // package. Scenarios fan out across the internal/mc worker pool; fixed seeds
 // make the report bit-identical for every worker count.
+//
+// One scenario failing — a solver error every alternate route shared, or a
+// panic somewhere in its estimators — does not abort the batch: the scenario
+// is quarantined (Result.Error set, Report.Quarantined counted) and the other
+// scenarios still report in full. Only spec validation errors, an empty
+// batch, and cancellation of opt.Ctx abort the whole run.
 func Run(scenarios []Scenario, opt Options) (*Report, error) {
 	defer obs.StartSpan("scenario/batch").End()
 	opt = opt.withDefaults()
@@ -58,24 +74,30 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 		ms     []strategy.Measurement
 		err    error
 	}
-	// One scenario per pool slot (mc.Map): the item order and each
+	// One scenario per pool slot (mc.MapCtx): the item order and each
 	// scenario's substreams are independent of the worker count, so the
-	// fan-out changes wall-clock time only.
-	outs := mc.Map(scenarios, opt.Workers, func(_ int, sc Scenario) evalOut {
-		adv, err := Advise(sc)
+	// fan-out changes wall-clock time only. Failures are values here, not
+	// errors — a scenario that cannot be evaluated quarantines below instead
+	// of poisoning its siblings, and the explicit recover keeps a panicking
+	// estimator contained to its own slot.
+	outs, err := mc.MapCtx(opt.Ctx, scenarios, opt.Workers, func(_ int, sc Scenario) (out evalOut) {
+		defer func() {
+			if r := recover(); r != nil {
+				out = evalOut{err: fmt.Errorf("scenario %q: %w: %v", sc.Name, guard.ErrPanic, r)}
+			}
+		}()
+		adv, err := AdviseCtx(opt.Ctx, sc)
 		if err != nil {
-			return evalOut{err: err}
+			return evalOut{err: fmt.Errorf("scenario %q: %w", sc.Name, err)}
 		}
-		sum, ms, err := evaluate(sc)
+		sum, ms, err := evaluate(opt.Ctx, sc)
 		if err != nil {
 			return evalOut{err: fmt.Errorf("scenario %q: %w", sc.Name, err)}
 		}
 		return evalOut{advice: adv, sum: sum, ms: ms}
 	})
-	for _, o := range outs {
-		if o.err != nil {
-			return nil, o.err
-		}
+	if err != nil {
+		return nil, err // cancellation (or a pool-level fault): a real abort
 	}
 
 	k := 0
@@ -84,7 +106,29 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 	}
 	crit := stats.ZCrit(opt.Alpha, max(k, 1))
 	rep := &Report{Alpha: opt.Alpha, Crit: crit, K: k}
-	for _, o := range outs {
+	for i, o := range outs {
+		if o.err != nil {
+			// Quarantine: keep the scenario in the report, carrying its error
+			// and the spec parameters we know without evaluation, so the
+			// batch's exit status and the reader both see what was lost.
+			if cerr := opt.Ctx.Err(); cerr != nil && errors.Is(o.err, guard.ErrBudget) {
+				return nil, o.err // lost to cancellation, not to the scenario
+			}
+			obs.C("scenario_quarantined_total").Inc()
+			rep.Quarantined++
+			sc := scenarios[i]
+			rep.Scenarios = append(rep.Scenarios, Result{
+				Summary: Summary{
+					Name: sc.Name,
+					N:    len(sc.Mu),
+					Mu:   append([]float64(nil), sc.Mu...),
+					Reps: sc.Reps,
+					Seed: sc.Seed,
+				},
+				Error: o.err.Error(),
+			})
+			continue
+		}
 		res := Result{Summary: o.sum, Advice: *o.advice}
 		for _, m := range o.ms {
 			mcrit := crit
@@ -110,8 +154,12 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 // evaluate runs the cross-check estimators of one scenario — the registry's
 // Model/Simulate pairing for each requested strategy, in registration order
 // — and returns the raw measurements. Judging happens batch-wide (the
-// Bonferroni critical value depends on the total comparison count).
-func evaluate(sc Scenario) (Summary, []strategy.Measurement, error) {
+// Bonferroni critical value depends on the total comparison count). The
+// context flows into the model side's chain solves (cancellation and fault
+// injection); the simulators draw fixed substreams and take no faults, which
+// is exactly what makes the cross-checks a test of the fallback routes: a
+// forced-fallback model value must still agree with untouched simulation.
+func evaluate(ctx context.Context, sc Scenario) (Summary, []strategy.Measurement, error) {
 	// Resolve the synchronization interval only when a synchronized
 	// discipline is in play: Validate deliberately allows "optimal" with
 	// θ = 0 as long as none is requested, and the optimum is undefined there.
@@ -138,6 +186,7 @@ func evaluate(sc Scenario) (Summary, []strategy.Measurement, error) {
 		Seed:           sc.Seed,
 	}
 	w := sc.workload()
+	w.Ctx = ctx
 	w.SyncInterval = tau
 	w.OptimalSync = false
 	if sc.wants(StrategySyncEveryK) {

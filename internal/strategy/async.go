@@ -50,7 +50,7 @@ func (asyncStrategy) Price(w Workload) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	m1, m2, err := model.MomentsX()
+	m1, m2, err := model.MomentsXCtx(w.Context())
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -64,7 +64,7 @@ func (asyncStrategy) Price(w Workload) (Metrics, error) {
 		DeadlineMissProb: -1,
 	}
 	if w.Deadline > 0 {
-		miss, err := model.DeadlineMissProb(w.Deadline)
+		miss, err := model.DeadlineMissProbCtx(w.Context(), w.Deadline)
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -81,13 +81,13 @@ func (asyncStrategy) Model(w Workload) (References, error) {
 	if err != nil {
 		return nil, err
 	}
-	exactX, err := model.MeanX()
+	exactX, err := model.MeanXCtx(w.Context())
 	if err != nil {
 		return nil, err
 	}
 	refs := References{"async.meanX": exactX}
 	if w.Deadline > 0 {
-		miss, err := model.DeadlineMissProb(w.Deadline)
+		miss, err := model.DeadlineMissProbCtx(w.Context(), w.Deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -139,11 +139,11 @@ func (asyncStrategy) XValChecks(w Workload, rec *Recorder) error {
 	if err != nil {
 		return err
 	}
-	exactX, err := model.MeanX()
+	exactX, err := model.MeanXCtx(w.Context())
 	if err != nil {
 		return err
 	}
-	wald, err := model.MeanLWald()
+	wald, err := model.MeanLWaldCtx(w.Context())
 	if err != nil {
 		return err
 	}
@@ -180,7 +180,7 @@ func (asyncStrategy) XValChecks(w Workload, rec *Recorder) error {
 		if err != nil {
 			return err
 		}
-		symX, err := sym.MeanX()
+		symX, err := sym.MeanXCtx(w.Context())
 		if err != nil {
 			return err
 		}
@@ -188,7 +188,7 @@ func (asyncStrategy) XValChecks(w Workload, rec *Recorder) error {
 	}
 
 	if w.Deadline > 0 {
-		miss, err := model.DeadlineMissProb(w.Deadline)
+		miss, err := model.DeadlineMissProbCtx(w.Context(), w.Deadline)
 		if err != nil {
 			return err
 		}

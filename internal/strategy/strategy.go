@@ -30,6 +30,7 @@
 package strategy
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -113,6 +114,21 @@ type Workload struct {
 	// Workers sets the Monte Carlo worker-pool size inside each estimator
 	// (0 = all CPUs). Results are bit-identical for every value.
 	Workers int
+	// Ctx, when non-nil, carries cancellation (CLI -timeout, Ctrl-C), an
+	// injected guard.FaultSpec and a guard.Recorder through every chain solve
+	// this workload triggers. Nil means context.Background(): the value does
+	// not influence any number, only whether and via which fallback route it
+	// is computed, so it is deliberately excluded from workload identity.
+	Ctx context.Context
+}
+
+// Context returns the workload's evaluation context, defaulting to
+// context.Background() so the zero Workload keeps working everywhere.
+func (w Workload) Context() context.Context {
+	if w.Ctx != nil {
+		return w.Ctx
+	}
+	return context.Background()
 }
 
 // Params assembles the rbmodel parameterization of the workload.

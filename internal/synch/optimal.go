@@ -3,6 +3,8 @@ package synch
 import (
 	"errors"
 	"math"
+
+	"recoveryblocks/internal/guard"
 )
 
 // The paper's Section 1 poses, without solving, the question of "the optimal
@@ -33,11 +35,11 @@ func OverheadRate(mu []float64, tau, theta float64) (float64, error) {
 	if err := validateRates(mu); err != nil {
 		return 0, err
 	}
-	if tau <= 0 {
-		return 0, errors.New("synch: tau must be positive")
+	if tau <= 0 || math.IsNaN(tau) || math.IsInf(tau, 0) {
+		return 0, guard.Numericalf("synch: tau %v must be positive and finite", tau)
 	}
-	if theta < 0 {
-		return 0, errors.New("synch: theta must be nonnegative")
+	if theta < 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return 0, guard.Numericalf("synch: theta %v must be nonnegative and finite", theta)
 	}
 	n := float64(len(mu))
 	cl, err := MeanLoss(mu)
@@ -61,8 +63,8 @@ func OptimalInterval(mu []float64, theta float64) (tau, overhead float64, err er
 	if err := validateRates(mu); err != nil {
 		return 0, 0, err
 	}
-	if theta <= 0 {
-		return 0, 0, errors.New("synch: theta must be positive (otherwise never synchronize)")
+	if theta <= 0 || math.IsNaN(theta) || math.IsInf(theta, 0) {
+		return 0, 0, errors.New("synch: theta must be positive and finite (otherwise never synchronize)")
 	}
 	cost := func(t float64) float64 {
 		v, cerr := OverheadRate(mu, t, theta)

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"recoveryblocks/internal/dist"
+	"recoveryblocks/internal/guard"
 	"recoveryblocks/internal/mc"
 	"recoveryblocks/internal/stats"
 )
@@ -70,8 +71,10 @@ func MeanMax(mu []float64) (float64, error) {
 
 // MeanMaxEqual returns E[Z] for n iid Exp(μ): the harmonic number H_n / μ.
 func MeanMaxEqual(n int, mu float64) (float64, error) {
-	if n < 1 || mu <= 0 {
-		return 0, errors.New("synch: need n ≥ 1 and μ > 0")
+	// NaN defeats the ≤ comparison, so reject it explicitly: a NaN rate must
+	// surface as a typed error, not as H_n/NaN.
+	if n < 1 || mu <= 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+		return 0, guard.Numericalf("synch: need n ≥ 1 and finite μ > 0 (got n = %d, μ = %v)", n, mu)
 	}
 	h := 0.0
 	for k := 1; k <= n; k++ {
@@ -177,8 +180,8 @@ func SimulateLossWorkers(mu []float64, reps int, seed int64, workers int) (loss,
 // units (the paper's "constant interval" strategy): each cycle costs E[CL]
 // lost work out of n·(interval + E[Z]) available work.
 func LossPerUnitTime(mu []float64, interval float64) (float64, error) {
-	if interval <= 0 {
-		return 0, errors.New("synch: interval must be positive")
+	if interval <= 0 || math.IsNaN(interval) || math.IsInf(interval, 0) {
+		return 0, guard.Numericalf("synch: interval %v must be positive and finite", interval)
 	}
 	cl, err := MeanLoss(mu)
 	if err != nil {

@@ -31,6 +31,7 @@
 package xval
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -160,6 +161,10 @@ type Options struct {
 	// rare-event checks of cells that opt in (the focused gate behind
 	// `rbrepro xval -rare` and the rare-grid tests).
 	RareOnly bool
+	// Ctx carries cancellation (CLI -timeout, Ctrl-C) and any injected
+	// guard.FaultSpec into every cell's chain solves; nil means
+	// context.Background(). It never changes any computed value.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +173,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RelTol == 0 {
 		o.RelTol = 1e-9
+	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
 	}
 	return o
 }
@@ -217,13 +225,16 @@ func Run(scenarios []Scenario, opt Options) (*Report, error) {
 		ms  []strategy.Measurement
 		err error
 	}
-	outs := mc.Map(scenarios, opt.Workers, func(_ int, sc Scenario) out {
+	outs, err := mc.MapCtx(opt.Ctx, scenarios, opt.Workers, func(_ int, sc Scenario) out {
 		scms, err := evaluate(sc, inner)
 		if err != nil {
 			return out{err: fmt.Errorf("xval: scenario %q: %w", sc.Name, err)}
 		}
 		return out{ms: scms}
 	})
+	if err != nil {
+		return nil, err // cancellation: a real abort
+	}
 	var ms []strategy.Measurement
 	for _, o := range outs {
 		if o.err != nil {
@@ -287,6 +298,7 @@ func evalOrder() []strategy.Strategy {
 // Bonferroni critical value depends on the total comparison count).
 func evaluate(sc Scenario, opt Options) ([]strategy.Measurement, error) {
 	w := sc.Workload(opt.Workers)
+	w.Ctx = opt.Ctx
 	var ms []strategy.Measurement
 	for _, st := range evalOrder() {
 		if !opt.wants(st.Name()) {

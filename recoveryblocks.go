@@ -58,10 +58,13 @@
 package recoveryblocks
 
 import (
+	"context"
+
 	"recoveryblocks/internal/chaos"
 	"recoveryblocks/internal/core"
 	"recoveryblocks/internal/dist"
 	"recoveryblocks/internal/expt"
+	"recoveryblocks/internal/guard"
 	"recoveryblocks/internal/markov"
 	"recoveryblocks/internal/mc"
 	"recoveryblocks/internal/obs"
@@ -417,6 +420,65 @@ func RunScenarios(scs []Scenario, opt ScenarioOptions) (*ScenarioReport, error) 
 // models alone (no simulation) and ranks them by expected overhead per unit
 // time; see RunScenarios for the cross-checked version.
 func Advise(sc Scenario) (*Advice, error) { return scenario.Advise(sc) }
+
+// AdviseCtx is Advise under an explicit context: cancellation aborts the
+// chain solves mid-ladder, and the returned advice carries a confidence
+// label whenever any priced number came off a fallback route instead of its
+// primary solver (see ConfidenceFallback, ConfidenceDegraded).
+func AdviseCtx(ctx context.Context, sc Scenario) (*Advice, error) {
+	return scenario.AdviseCtx(ctx, sc)
+}
+
+// ---- Recovery-block guard layer (internal/guard) ----
+//
+// Every numerical route in the engine — chain solves, simulator batches, the
+// rare-event router, the advisor — runs inside an acceptance-tested recovery
+// block: a primary solver plus fallback alternates, each attempt
+// panic-isolated and its result checked before use. The sentinels below
+// classify why a route (or a whole block) failed; match with errors.Is.
+
+// Re-exported guard failure classes.
+var (
+	// ErrNumerical marks a solver failure: non-convergence, NaN/Inf, a
+	// residual past tolerance.
+	ErrNumerical = guard.ErrNumerical
+	// ErrBudget marks an exhausted budget — a cancelled context (CLI
+	// -timeout, Ctrl-C) or a block's wall-clock deadline.
+	ErrBudget = guard.ErrBudget
+	// ErrPanic marks a captured panic: the attempt crashed, the process did
+	// not.
+	ErrPanic = guard.ErrPanic
+	// ErrRejected marks an acceptance-test rejection.
+	ErrRejected = guard.ErrRejected
+	// ErrInvalid marks a structurally unrecoverable input: no alternate can
+	// help, so fallback ladders abort instead of degrading.
+	ErrInvalid = guard.ErrInvalid
+)
+
+// Re-exported advice confidence labels (Advice.Confidence).
+const (
+	// ConfidenceExact: every number came from its primary exact route.
+	ConfidenceExact = scenario.ConfidenceExact
+	// ConfidenceFallback: at least one number came from an exact alternate
+	// (sparse or uniformization rung) after the primary failed.
+	ConfidenceFallback = scenario.ConfidenceFallback
+	// ConfidenceDegraded: at least one number came from the Monte Carlo
+	// estimate rung — correct in expectation, carries sampling error.
+	ConfidenceDegraded = scenario.ConfidenceDegraded
+)
+
+// WithSolverFaults returns a context that forces the first depth attempts of
+// every recovery block under it to fail, driving each numerical route onto
+// its fallback alternates. Depth is clamped per block so the last rung always
+// runs: the engine degrades, never refuses. This is the fault-injection
+// surface behind `rbrepro -solver-fault` and the chaos solver-fault
+// perturbation; depth <= 0 returns ctx unchanged.
+func WithSolverFaults(ctx context.Context, depth int) context.Context {
+	if depth <= 0 {
+		return ctx
+	}
+	return guard.WithFaults(ctx, guard.FaultSpec{Depth: depth})
+}
 
 // ---- Rare-event engine (internal/rare, internal/scenario) ----
 
