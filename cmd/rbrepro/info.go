@@ -83,7 +83,9 @@ func runInfo(stdout io.Writer, jsonOut bool) error {
 	}
 
 	fmt.Fprintln(stdout, "\nlimits:")
-	fmt.Fprintf(stdout, "  max exact processes   %d  (2^n+1-state chain bound; larger n simulates)\n", rep.Limits.MaxExactProcesses)
+	fmt.Fprintf(stdout, "  max exact processes   %d  (exact-solve bound via the matrix-free Kronecker engine; larger n simulates)\n", rep.Limits.MaxExactProcesses)
+	fmt.Fprintf(stdout, "  max enumerated        %d  (2^n+1-state materialized-chain bound; above it: orbit lumping or matrix-free)\n", rep.Limits.MaxEnumeratedProcesses)
+	fmt.Fprintf(stdout, "  kron cutoff           %d  (state count at/above which lumped chains yield to the matrix-free route)\n", rep.Limits.KronCutoff)
 	fmt.Fprintf(stdout, "  sparse cutoff         %d  (transient states; >= routes solves dense LU -> CSR Gauss-Seidel)\n", rep.Limits.SparseCutoff)
 	fmt.Fprintf(stdout, "  default block size    %d  (Monte Carlo replications per block)\n", rep.Limits.DefaultBlockSize)
 	fmt.Fprintf(stdout, "  max every-k           %d  (sync-every-k block period bound)\n", rep.Limits.MaxEveryK)

@@ -16,7 +16,7 @@
 //	rbrepro plan                        # design aids beyond the paper
 //	rbrepro strategies [-table [-k 1,2,4]]  # the recovery-discipline registry
 //	rbrepro info  [-json]               # build info, limits, registries, metric catalog
-//	rbrepro xval  [-json] [-strategy S] [-rare]  # model vs simulator cross-validation
+//	rbrepro xval  [-json] [-strategy S] [-rare] [-kron]  # model vs simulator cross-validation
 //	rbrepro scenario -spec f | -family n [-json] [-strategy S]
 //	rbrepro rare  [-spec f | -family n] [-method auto|mc|is|split] [-target r] [-json]
 //	rbrepro chaos -spec f | -corpus N [-perturb stacks] [-json]
@@ -58,7 +58,10 @@
 // discipline (see `rbrepro strategies` for the catalog); for sync-every-k,
 // xval selects the discipline's dedicated grid. -rare swaps in the
 // rare-event overlap grid: variance-reduced deadline-miss estimates judged
-// against the exact solvers in the ≤ 1e−6 regime.
+// against the exact solvers in the ≤ 1e−6 regime. -kron swaps in the
+// matrix-free proof grid (n ∈ {18, 20, 24}, async family by default): exact
+// Kronecker–Krylov answers past the enumeration wall judged against the
+// event-driven simulator.
 //
 // rare runs the rare-event engine over a scenario batch (default: the
 // deadline-tail family, which walks deadlines into the ≤ 1e−6 regime),
@@ -115,7 +118,7 @@ commands: table1 fig5 fig6 sync prp domino trace graph plan strategies info xval
 flags:    -quick -seed N -workers N -metrics path|- -metrics-summary -timeout d -solver-fault N;
           fig5: -rhos -maxn -exact; fig6: -points -tmax;
           prp: -tr -lambda; trace: -scheme sync|prp; graph: -model full|symmetric|split;
-          strategies: -table -k 1,2,4; info: -json; xval: -json -strategy S -rare;
+          strategies: -table -k 1,2,4; info: -json; xval: -json -strategy S -rare -kron;
           scenario: -spec f | -family n, -json -strategy S;
           rare: -spec f | -family n, -method auto|mc|is|split -reps N -tilt b -splits L -target r -json;
           chaos: -spec f | -corpus N, -perturb stacks -draws N -threshold p -margin-floor m -json`)

@@ -71,6 +71,7 @@ func RunContext(ctx context.Context, args []string, stdout io.Writer) error {
 	table := fs.Bool("table", false, "also print the registry-driven comparison table (strategies)")
 	ks := fs.String("k", "1,2,4", "comma-separated sync-every-k block periods (strategies -table)")
 	rareGrid := fs.Bool("rare", false, "run only the rare-event overlap grid (xval)")
+	kronGrid := fs.Bool("kron", false, "run only the matrix-free proof grid, n in {18, 20, 24} (xval)")
 	method := fs.String("method", "", "rare estimator: auto, mc, is or split (rare)")
 	reps := fs.Int("reps", 0, "replication budget per estimate; 0 = scenario default (rare)")
 	tilt := fs.Float64("tilt", 0, "force the importance-sampling strength; 0 = adaptive (rare)")
@@ -257,7 +258,7 @@ func RunContext(ctx context.Context, args []string, stdout io.Writer) error {
 				fmt.Fprintf(stdout, "%d | %.4f   | %8.2f\n", n, p, q)
 			}
 		case "xval":
-			return runXVal(ctx, stdout, *quick, *seed, *workers, *jsonOut, *strategyName, *rareGrid)
+			return runXVal(ctx, stdout, *quick, *seed, *workers, *jsonOut, *strategyName, *rareGrid, *kronGrid)
 		case "scenario":
 			return runScenario(ctx, stdout, *specPath, *family, *quick, *seed, *workers, *jsonOut, *strategyName)
 		case "rare":
@@ -616,13 +617,19 @@ func runRare(ctx context.Context, stdout io.Writer, a rareArgs) error {
 // the discipline's dedicated grid. -rare swaps in the rare-event overlap
 // grid and runs only the rare check family: the focused gate proving the
 // variance-reduced estimators against the exact solvers.
-func runXVal(ctx context.Context, stdout io.Writer, quick bool, seed int64, workers int, jsonOut bool, strategyName string, rareOnly bool) error {
+func runXVal(ctx context.Context, stdout io.Writer, quick bool, seed int64, workers int, jsonOut bool, strategyName string, rareOnly, kronOnly bool) error {
 	grid := rb.XValFullGrid()
 	if quick {
 		grid = rb.XValShortGrid()
 	}
 	if rareOnly {
 		grid = rb.XValRareGrid()
+	}
+	if kronOnly {
+		if rareOnly {
+			return fmt.Errorf("rbrepro: -kron and -rare select disjoint grids")
+		}
+		grid = rb.XValKronGrid()
 	}
 	var opt rb.XValOptions
 	opt.Workers = workers
@@ -634,9 +641,15 @@ func runXVal(ctx context.Context, stdout io.Writer, quick bool, seed int64, work
 			return err
 		}
 		opt.Strategies = []string{string(st)}
-		if st == rb.ScenarioSyncEveryK && !rareOnly {
+		if st == rb.ScenarioSyncEveryK && !rareOnly && !kronOnly {
 			grid = rb.XValEveryKGrid()
 		}
+	}
+	if kronOnly && strategyName == "" {
+		// Every kron cell pays 2^n-vector exact solves; without an explicit
+		// -strategy, run only the async family so the other disciplines do not
+		// each repeat the expensive model build.
+		opt.Strategies = []string{string(rb.ScenarioAsync)}
 	}
 	// The grids pin per-scenario seeds so runs are reproducible; a
 	// non-default -seed shifts them all, giving an independent replication

@@ -1,0 +1,210 @@
+package linalg
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// denseFromKron materializes a KronOp by applying it to basis vectors —
+// the reference every sweep kernel is judged against.
+func denseFromKron(op *KronOp) *Matrix {
+	n := op.Dim()
+	a := NewMatrix(n, n)
+	e := make([]float64, n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := range e {
+			e[i] = 0
+		}
+		e[j] = 1
+		op.MulVecInto(col, e)
+		for i := 0; i < n; i++ {
+			a.Set(i, j, col[i])
+		}
+	}
+	return a
+}
+
+// denseExchange builds rate·Σ_{i<j} E_ij entry by entry from the definition:
+// each pair (i, j) sends (1,1), (1,0), (0,1) to (0,0) at unit rate.
+func denseExchange(nbits int, rate float64) *Matrix {
+	n := 1 << nbits
+	a := NewMatrix(n, n)
+	for s := 0; s < n; s++ {
+		for i := 0; i < nbits; i++ {
+			for j := i + 1; j < nbits; j++ {
+				bi, bj := 1<<i, 1<<j
+				if s&bi == 0 && s&bj == 0 {
+					continue
+				}
+				target := s &^ bi &^ bj
+				a.Add(s, target, rate)
+				a.Add(s, s, -rate)
+			}
+		}
+	}
+	return a
+}
+
+func maxAbsDiff(a, b *Matrix) float64 {
+	m := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestKronExchangeMatchesDefinition pins the down-shift fast path to the
+// entrywise definition of the exchange family on several sizes.
+func TestKronExchangeMatchesDefinition(t *testing.T) {
+	for _, nbits := range []int{2, 3, 5, 7} {
+		op := NewKronOp(nbits)
+		op.AddExchange(0.7)
+		got := denseFromKron(op)
+		want := denseExchange(nbits, 0.7)
+		if d := maxAbsDiff(got, want); d > 1e-12 {
+			t.Errorf("n=%d: exchange family deviates from definition by %g", nbits, d)
+		}
+	}
+}
+
+// TestKronPairMatchesExchange cross-checks the two interaction encodings:
+// C(n,2) explicit pair factors must equal one AddExchange call.
+func TestKronPairMatchesExchange(t *testing.T) {
+	const nbits = 5
+	const rate = 1.3
+	viaPairs := NewKronOp(nbits)
+	// Local 4×4 of E_ij: states 1, 2, 3 each → 0 at `rate`.
+	var k [16]float64
+	for _, r := range []int{1, 2, 3} {
+		k[r*4+0] += rate
+		k[r*4+r] -= rate
+	}
+	for i := 0; i < nbits; i++ {
+		for j := i + 1; j < nbits; j++ {
+			viaPairs.AddPair(i, j, k)
+		}
+	}
+	viaExchange := NewKronOp(nbits)
+	viaExchange.AddExchange(rate)
+	if d := maxAbsDiff(denseFromKron(viaPairs), denseFromKron(viaExchange)); d > 1e-12 {
+		t.Errorf("pair-term and exchange encodings disagree by %g", d)
+	}
+}
+
+// randomKron assembles a random operator exercising every term kind.
+func randomKron(rng *rand.Rand, nbits int) *KronOp {
+	op := NewKronOp(nbits)
+	for b := 0; b < nbits; b++ {
+		if rng.Float64() < 0.8 {
+			mu := rng.Float64() + 0.1
+			op.AddSite(b, -mu, mu, 0, 0)
+		}
+		if rng.Float64() < 0.3 {
+			op.AddSite(b, 0, 0, rng.Float64(), -rng.Float64())
+		}
+	}
+	if rng.Float64() < 0.7 {
+		op.AddExchange(rng.Float64())
+	}
+	for i := 0; i < nbits; i++ {
+		for j := i + 1; j < nbits; j++ {
+			if rng.Float64() < 0.3 {
+				var k [16]float64
+				for e := range k {
+					if rng.Float64() < 0.4 {
+						k[e] = rng.NormFloat64()
+					}
+				}
+				op.AddPair(i, j, k)
+			}
+		}
+	}
+	ones := op.Dim() - 1
+	op.AddFixup(ones, ones, -rng.Float64())
+	op.AddFixup(rng.Intn(op.Dim()), ones, rng.Float64())
+	return op
+}
+
+// TestKronTransposeAndDiag checks MulVecTransInto against the explicit
+// transpose of the materialized matrix, and DiagInto against its diagonal,
+// over randomized operators with all term kinds mixed.
+func TestKronTransposeAndDiag(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		nbits := 2 + rng.Intn(5)
+		op := randomKron(rng, nbits)
+		n := op.Dim()
+		a := denseFromKron(op)
+
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, n)
+		op.MulVecTransInto(got, x)
+		want := make([]float64, n)
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += a.At(i, j) * x[i]
+			}
+			want[j] = s
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-10 {
+				t.Fatalf("trial %d: transpose deviates at %d: got %g want %g", trial, i, got[i], want[i])
+			}
+		}
+
+		diag := make([]float64, n)
+		op.DiagInto(diag)
+		for i := 0; i < n; i++ {
+			if math.Abs(diag[i]-a.At(i, i)) > 1e-12 {
+				t.Fatalf("trial %d: diagonal deviates at %d: got %g want %g", trial, i, diag[i], a.At(i, i))
+			}
+		}
+	}
+}
+
+// TestKronGeneratorRowSums builds a full recovery-block-shaped generator
+// (raising sites + exchange + all-ones fixups) and checks that every
+// transient row sums to ≤ 0 with the deficit equal to the absorption rate —
+// the structural invariant of a generator's transient block.
+func TestKronGeneratorRowSums(t *testing.T) {
+	const nbits = 4
+	op := NewKronOp(nbits)
+	mu := []float64{0.5, 1.0, 1.5, 2.0}
+	sumMu := 0.0
+	for b, m := range mu {
+		op.AddSite(b, -m, m, 0, 0)
+		sumMu += m
+	}
+	op.AddExchange(0.25)
+	ones := op.Dim() - 1
+	for b, m := range mu {
+		op.AddFixup(ones&^(1<<b), ones, -m) // raising into ones is absorption
+	}
+	op.AddFixup(ones, ones, -sumMu) // entry's R4 exit
+
+	a := denseFromKron(op)
+	for s := 0; s < op.Dim(); s++ {
+		row := 0.0
+		for c := 0; c < op.Dim(); c++ {
+			row += a.At(s, c)
+		}
+		missing := 0.0 // rate into the (implicit) absorbing state
+		if s == ones {
+			missing = sumMu
+		} else if bits.OnesCount(uint(s)) == nbits-1 {
+			missing = mu[bits.TrailingZeros(uint(ones&^s))]
+		}
+		if math.Abs(row+missing) > 1e-12 {
+			t.Errorf("row %b sums to %g, want %g", s, row, -missing)
+		}
+	}
+}

@@ -66,3 +66,12 @@ func CloneVec(x []float64) []float64 {
 	copy(y, x)
 	return y
 }
+
+// Norm2 returns the Euclidean norm.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -2,19 +2,32 @@ package rbmodel
 
 import (
 	"fmt"
+	"math"
 
 	"recoveryblocks/internal/markov"
 )
 
-// MaxExactProcesses bounds the full model's state space (2^n + 1 states).
-// Small chains solve by dense LU; above markov.SparseCutoff transient states
-// the moment and occupancy solves go through the CSR aggregated Gauss–Seidel
-// route, which keeps n = 16 (65 537 states) under a second of solve time
-// where the dense factorization was already intractable at n = 12. The bound
-// is now set by build memory (the chain stores ~n²/2 transitions per state),
-// not solver cost. Beyond it, use SymmetricModel (O(n) states) or the
-// discrete-event simulator.
-const MaxExactProcesses = 16
+// MaxEnumeratedProcesses bounds the enumerated chain backend (2^n + 1 states
+// held as markov.CTMC rows). Small chains solve by dense LU; above
+// markov.SparseCutoff transient states the moment and occupancy solves go
+// through the CSR aggregated Gauss–Seidel route, which keeps n = 16 (65 537
+// states) under a second of solve time where the dense factorization was
+// already intractable at n = 12. The bound is set by build memory — the chain
+// stores ~n²/2 transitions per state — which is also why the larger regime
+// below never enumerates at all.
+const MaxEnumeratedProcesses = 16
+
+// MaxExactProcesses bounds the exact solvers overall. Beyond
+// MaxEnumeratedProcesses the model switches backends instead of giving up:
+// orbit lumping collapses partially-exchangeable rate vectors onto per-class
+// counts (often a few hundred states), and the general case runs the
+// matrix-free Kronecker engine — the transient generator applied as
+// per-process 2×2 factors in O(n·2^n) flops with O(2^n) vectors, solved by
+// preconditioned restarted GMRES and Krylov exponentials (markov.MatrixFree).
+// The bound is now set by the memory and time of length-2^n vectors: n = 24
+// means 128 MiB per vector and exact moments in minutes on one core. Beyond
+// it, use SymmetricModel (O(n) states) or the discrete-event simulator.
+const MaxExactProcesses = 24
 
 // AsyncModel is the paper's full continuous-time Markov model of
 // asynchronous recovery blocks for n processes (Section 2.2, Figure 2).
@@ -28,9 +41,17 @@ const MaxExactProcesses = 16
 //
 // x_i = 1 means the previous action of P_i was establishing a recovery point;
 // x_i = 0 means it was an interaction.
+//
+// Three backends share this surface, picked at construction by n and the rate
+// structure (see Route): the enumerated chain (n ≤ MaxEnumeratedProcesses,
+// unchanged solve paths), the orbit-lumped chain (partially-exchangeable
+// rates), and the matrix-free Kronecker engine (everything else up to
+// MaxExactProcesses). Exactly one of chain, orbit, kron is non-nil.
 type AsyncModel struct {
 	P     Params
 	chain *markov.CTMC
+	orbit *OrbitModel
+	kron  *kronEngine
 	ones  int
 }
 
@@ -44,6 +65,17 @@ func NewAsync(p Params) (*AsyncModel, error) {
 		return nil, fmt.Errorf("rbmodel: n = %d exceeds MaxExactProcesses = %d (use SymmetricModel or the simulator)", n, MaxExactProcesses)
 	}
 	m := &AsyncModel{P: p, ones: (1 << n) - 1}
+	if n > MaxEnumeratedProcesses {
+		// Past the enumeration wall: lump onto per-class counts when the rate
+		// structure allows and actually shrinks the space, otherwise run the
+		// matrix-free Kronecker engine on the full cube.
+		if orb, err := NewOrbit(p); err == nil && orb.NumStates() < markov.KronCutoff {
+			m.orbit = orb
+		} else {
+			m.kron = newKronEngine(p)
+		}
+		return m, nil
+	}
 	m.chain = markov.NewCTMC((1 << n) + 1)
 	// Every state emits at most n RP transitions and C(n,2) interaction
 	// transitions; pre-sizing the rows keeps the 2^n-state build free of
@@ -55,6 +87,19 @@ func NewAsync(p Params) (*AsyncModel, error) {
 		m.buildIntermediate(mask)
 	}
 	return m, nil
+}
+
+// Route reports which backend answers for this model: "enumerated", "orbit",
+// or "kron".
+func (m *AsyncModel) Route() string {
+	switch {
+	case m.chain != nil:
+		return "enumerated"
+	case m.orbit != nil:
+		return "orbit"
+	default:
+		return "kron"
+	}
 }
 
 // Entry returns the entry state index (paper's state 0 = S_r).
@@ -83,7 +128,9 @@ func (m *AsyncModel) MaskOf(state int) int {
 	return state - 1
 }
 
-// Chain exposes the underlying CTMC.
+// Chain exposes the underlying CTMC of the enumerated backend. It returns
+// nil on the orbit and kron routes, which never build one — their state
+// spaces are the lumped cells and the implicit cube.
 func (m *AsyncModel) Chain() *markov.CTMC { return m.chain }
 
 // buildEntry installs the transitions out of S_r: rule R4 (a fresh recovery
@@ -152,17 +199,25 @@ func (m *AsyncModel) entryDistribution() []float64 {
 // MeanX returns E[X], the expected interval between two successive recovery
 // lines, by solving the absorbing chain exactly.
 func (m *AsyncModel) MeanX() (float64, error) {
-	return m.chain.MeanAbsorptionTime(m.Entry())
+	m1, _, err := m.MomentsX()
+	return m1, err
 }
 
 // MomentsX returns E[X] and E[X²].
 func (m *AsyncModel) MomentsX() (m1, m2 float64, err error) {
-	return m.chain.AbsorptionMoments(m.Entry())
+	switch {
+	case m.chain != nil:
+		return m.chain.AbsorptionMoments(m.Entry())
+	case m.orbit != nil:
+		return m.orbit.MomentsX()
+	default:
+		return m.kron.mf.AbsorptionMoments()
+	}
 }
 
 // VarX returns Var[X].
 func (m *AsyncModel) VarX() (float64, error) {
-	m1, m2, err := m.chain.AbsorptionMoments(m.Entry())
+	m1, m2, err := m.MomentsX()
 	if err != nil {
 		return 0, err
 	}
@@ -170,14 +225,58 @@ func (m *AsyncModel) VarX() (float64, error) {
 }
 
 // DensityX evaluates the paper's f_x(t) (Figure 6) at the given
-// nondecreasing times via uniformization of the Chapman–Kolmogorov equation.
+// nondecreasing times via uniformization of the Chapman–Kolmogorov equation
+// (a Krylov-exponential sweep with a uniformization fallback on the kron
+// route). On a hard numerical failure of the matrix-free sweep every entry is
+// NaN; error-aware callers use densityX.
 func (m *AsyncModel) DensityX(times []float64) []float64 {
-	return m.chain.AbsorptionDensity(m.entryDistribution(), times, 1e-10)
+	out, err := m.densityX(times)
+	if err != nil {
+		return nanVec(len(times))
+	}
+	return out
 }
 
-// CDFX evaluates P(X ≤ t) at the given nondecreasing times.
+func (m *AsyncModel) densityX(times []float64) ([]float64, error) {
+	switch {
+	case m.chain != nil:
+		return m.chain.AbsorptionDensity(m.entryDistribution(), times, 1e-10), nil
+	case m.orbit != nil:
+		c := m.orbit
+		return c.Chain().AbsorptionDensity(pointMass(c.NumStates(), c.Entry()), times, 1e-10), nil
+	default:
+		return m.kron.mf.AbsorptionDensity(times, 1e-10)
+	}
+}
+
+// CDFX evaluates P(X ≤ t) at the given nondecreasing times. The NaN
+// convention matches DensityX.
 func (m *AsyncModel) CDFX(times []float64) []float64 {
-	return m.chain.AbsorptionCDF(m.entryDistribution(), times, 1e-10)
+	out, err := m.cdfX(times)
+	if err != nil {
+		return nanVec(len(times))
+	}
+	return out
+}
+
+func (m *AsyncModel) cdfX(times []float64) ([]float64, error) {
+	switch {
+	case m.chain != nil:
+		return m.chain.AbsorptionCDF(m.entryDistribution(), times, 1e-10), nil
+	case m.orbit != nil:
+		c := m.orbit
+		return c.Chain().AbsorptionCDF(pointMass(c.NumStates(), c.Entry()), times, 1e-10), nil
+	default:
+		return m.kron.mf.AbsorptionCDF(times, 1e-10)
+	}
+}
+
+func nanVec(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	return out
 }
 
 // MeanLWald returns E[L_i] for every process via the optional-stopping
@@ -202,11 +301,25 @@ func (m *AsyncModel) MeanLWald() ([]float64, error) {
 // states with exactly u ones (u indexed 0..n), with the entry state counted
 // under u = n. Used to analyze where the interval X is spent.
 func (m *AsyncModel) OccupancyByOnes() ([]float64, error) {
+	n := m.P.N()
+	switch {
+	case m.orbit != nil:
+		return m.orbit.occupancyByOnes()
+	case m.kron != nil:
+		occ, err := m.kron.mf.ExpectedOccupancy()
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n+1)
+		for s, v := range occ {
+			out[popcount(s)] += v // the all-ones vertex is the entry: u = n
+		}
+		return out, nil
+	}
 	occ, err := m.chain.ExpectedOccupancy(m.Entry())
 	if err != nil {
 		return nil, err
 	}
-	n := m.P.N()
 	out := make([]float64, n+1)
 	out[n] += occ[m.Entry()]
 	for mask := 0; mask < m.ones; mask++ {

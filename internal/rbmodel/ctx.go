@@ -15,13 +15,23 @@ import (
 
 // MeanXCtx is MeanX under an explicit context.
 func (m *AsyncModel) MeanXCtx(ctx context.Context) (float64, error) {
-	m1, _, err := m.chain.AbsorptionMomentsCtx(ctx, m.Entry())
+	m1, _, err := m.MomentsXCtx(ctx)
 	return m1, err
 }
 
-// MomentsXCtx is MomentsX under an explicit context.
+// MomentsXCtx is MomentsX under an explicit context. Every backend runs its
+// moment ladder under the same guard contract: the enumerated and orbit
+// chains through the dense/CSR rungs, the kron engine through the
+// kron-krylov/kron-uniformization/kron-mc rungs.
 func (m *AsyncModel) MomentsXCtx(ctx context.Context) (m1, m2 float64, err error) {
-	return m.chain.AbsorptionMomentsCtx(ctx, m.Entry())
+	switch {
+	case m.chain != nil:
+		return m.chain.AbsorptionMomentsCtx(ctx, m.Entry())
+	case m.orbit != nil:
+		return m.orbit.Chain().AbsorptionMomentsCtx(ctx, m.orbit.Entry())
+	default:
+		return m.kron.mf.AbsorptionMomentsCtx(ctx)
+	}
 }
 
 // MeanLWaldCtx is MeanLWald under an explicit context.

@@ -28,7 +28,10 @@ func (m *AsyncModel) DeadlineMissProb(d float64) (float64, error) {
 	if math.IsInf(d, 1) {
 		return 0, nil // X is finite almost surely: absorption is certain
 	}
-	cdf := m.CDFX([]float64{d})
+	cdf, err := m.cdfX([]float64{d})
+	if err != nil {
+		return 0, err
+	}
 	p := 1 - cdf[0]
 	if p < 0 { // numerical guard
 		p = 0
@@ -87,7 +90,11 @@ func (m *AsyncModel) QuantileX(q float64) (float64, error) {
 	}
 	lo, hi := 0.0, mean
 	for i := 0; i < 200; i++ {
-		if cdf := m.CDFX([]float64{hi}); cdf[0] >= q {
+		cdf, err := m.cdfX([]float64{hi})
+		if err != nil {
+			return 0, err
+		}
+		if cdf[0] >= q {
 			break
 		}
 		hi *= 2
@@ -97,7 +104,11 @@ func (m *AsyncModel) QuantileX(q float64) (float64, error) {
 	}
 	for i := 0; i < 100 && hi-lo > 1e-9*(1+hi); i++ {
 		mid := (lo + hi) / 2
-		if cdf := m.CDFX([]float64{mid}); cdf[0] < q {
+		cdf, err := m.cdfX([]float64{mid})
+		if err != nil {
+			return 0, err
+		}
+		if cdf[0] < q {
 			lo = mid
 		} else {
 			hi = mid

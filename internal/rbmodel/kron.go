@@ -1,0 +1,258 @@
+package rbmodel
+
+import (
+	"math/bits"
+
+	"recoveryblocks/internal/linalg"
+	"recoveryblocks/internal/markov"
+)
+
+// The matrix-free backend for n beyond the enumeration wall. The transient
+// space of the full model is the n-cube with the entry state identified with
+// the all-ones vertex (the paper's S_r behaves exactly like (1,…,1) once the
+// raising transitions into it are redirected to absorption), so the transient
+// generator is a Kronecker sum of 2×2 per-process recovery-point factors plus
+// the pairwise interaction family and n+1 boundary fixups — a linalg.KronOp
+// applied in O(n·2^n) flops with O(2^n) memory, never materialized. The
+// markov.MatrixFree engine runs the moment, occupancy and transient solves
+// against it.
+type kronEngine struct {
+	p     Params
+	n     int
+	ones  int // all-ones vertex = entry state
+	sumMu float64
+	op    *linalg.KronOp
+	mf    *markov.MatrixFree
+}
+
+// newKronEngine assembles the Kronecker factors directly from validated
+// Params. State s ∈ [0, 2^n) is the paper's vector (x_1..x_n) with bit i−1
+// carrying x_i; the entry state is the all-ones vertex and the absorbing
+// state is implicit (row deficits).
+func newKronEngine(p Params) *kronEngine {
+	n := p.N()
+	e := &kronEngine{p: p, n: n, ones: 1<<n - 1, sumMu: p.SumMu()}
+	op := linalg.NewKronOp(n)
+	// R1 per process: x_i 0→1 at μ_i, as the site factor [[−μ_i, μ_i],[0,0]].
+	for i, mu := range p.Mu {
+		op.AddSite(i, -mu, mu, 0, 0)
+	}
+	// R2/R3 interactions: each pair sends (1,1), (1,0), (0,1) to (0,0) at
+	// λ_ij. A uniform rate collapses all C(n,2) pairs into the exchange
+	// family's n prefix sweeps; otherwise each positive pair gets its own
+	// lowering factor.
+	if rate, uniform := uniformPairRate(p); uniform {
+		if rate > 0 {
+			op.AddExchange(rate)
+		}
+	} else {
+		var k [16]float64
+		for _, r := range []int{1, 2, 3} {
+			k[r*4+0] = 1
+			k[r*4+r] = -1
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				rate := p.Lambda[i][j]
+				if rate == 0 {
+					continue
+				}
+				var kr [16]float64
+				for idx, v := range k {
+					kr[idx] = rate * v
+				}
+				op.AddPair(i, j, kr)
+			}
+		}
+	}
+	// Boundary fixups identifying the all-ones vertex with S_r: completing the
+	// line absorbs instead of re-entering the cube (remove each raising edge
+	// into ones), and the entry pays rule R4's exit rate Σμ on its diagonal.
+	for i, mu := range p.Mu {
+		op.AddFixup(e.ones&^(1<<i), e.ones, -mu)
+	}
+	op.AddFixup(e.ones, e.ones, -e.sumMu)
+
+	// Sparse absorption vector: the n vertices one RP short of a line (rate =
+	// the missing process's μ) and the entry itself (rate Σμ).
+	absIdx := make([]int, 0, n+1)
+	absRate := make([]float64, 0, n+1)
+	for i, mu := range p.Mu {
+		absIdx = append(absIdx, e.ones&^(1<<i))
+		absRate = append(absRate, mu)
+	}
+	absIdx = append(absIdx, e.ones)
+	absRate = append(absRate, e.sumMu)
+
+	pre := newKronPrecond(op, p)
+	e.op = op
+	e.mf = markov.NewMatrixFree(markov.MatrixFreeSpec{
+		Op:         op,
+		Gamma:      p.TotalEventRate(),
+		Start:      e.ones,
+		AbsorbIdx:  absIdx,
+		AbsorbRate: absRate,
+		Precond:    pre.forward,
+		PrecondT:   pre.transposed,
+		Rows:       e.rows,
+	})
+	return e
+}
+
+// uniformPairRate reports whether every off-diagonal interaction rate is the
+// same, and that common rate.
+func uniformPairRate(p Params) (float64, bool) {
+	n := p.N()
+	if n < 2 {
+		return 0, true
+	}
+	rate := p.Lambda[0][1]
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if p.Lambda[i][j] != rate {
+				return 0, false
+			}
+		}
+	}
+	return rate, true
+}
+
+// rows enumerates one cube vertex's transitions for the on-the-fly jump-chain
+// rung — the same R1–R4 rules the enumerated builder installs, with to < 0
+// meaning absorption.
+func (e *kronEngine) rows(u int, yield func(to int, rate float64)) {
+	for i := 0; i < e.n; i++ {
+		bit := 1 << i
+		if u&bit != 0 {
+			continue
+		}
+		if next := u | bit; next == e.ones {
+			yield(-1, e.p.Mu[i]) // R1 completing the recovery line
+		} else {
+			yield(next, e.p.Mu[i]) // R1
+		}
+	}
+	if u == e.ones {
+		yield(-1, e.sumMu) // R4 out of the entry
+	}
+	for i := 0; i < e.n; i++ {
+		for j := i + 1; j < e.n; j++ {
+			rate := e.p.Lambda[i][j]
+			if rate == 0 {
+				continue
+			}
+			bi, bj := u&(1<<i) != 0, u&(1<<j) != 0
+			switch {
+			case bi && bj:
+				yield(u&^(1<<i|1<<j), rate) // R2
+			case bi:
+				yield(u&^(1<<i), rate) // R3
+			case bj:
+				yield(u&^(1<<j), rate) // R3
+			}
+		}
+	}
+}
+
+// kronPrecond is the two-level additive preconditioner for the GMRES rung:
+// Jacobi (the operator's diagonal, assembled once by DiagInto) plus a coarse
+// correction on the popcount-level aggregation of the cube. The Galerkin
+// coarse operator Ac[u][v] = Σ_{|s|=u} Σ_{|t|=v} Q_T[s][t] never needs the
+// matrix: every level-to-level rate sum has a closed binomial form because
+// the count of vertices at level u containing a fixed bit pattern is
+// independent of which rates sit on it.
+type kronPrecond struct {
+	diag    []float64
+	nlev    int
+	lu, luT *linalg.LU
+}
+
+func newKronPrecond(op *linalg.KronOp, p Params) *kronPrecond {
+	kp := &kronPrecond{diag: make([]float64, op.Dim()), nlev: p.N() + 1}
+	op.DiagInto(kp.diag)
+	n := p.N()
+	sumMu := p.SumMu()
+	lamPairs := p.SumLambdaPairs()
+	ac := linalg.NewMatrix(n+1, n+1)
+	for u := 0; u <= n; u++ {
+		// R1 raising (level u → u+1); the u = n−1 edges absorb instead, but
+		// their diagonal share remains.
+		if u <= n-2 {
+			ac.Add(u, u+1, choose(n-1, u)*sumMu)
+		}
+		ac.Add(u, u, -choose(n-1, u)*sumMu)
+		// R2 (u → u−2) and R3 (u → u−1) aggregate over Σ_{i<j} λ_ij: a level-u
+		// vertex contains a fixed pair with multiplicity C(n−2, u−2) and a
+		// fixed ordered marked/unmarked pair with multiplicity C(n−2, u−1).
+		r2 := choose(n-2, u-2) * lamPairs
+		r3 := choose(n-2, u-1) * 2 * lamPairs
+		if u >= 2 {
+			ac.Add(u, u-2, r2)
+		}
+		if u >= 1 {
+			ac.Add(u, u-1, r3)
+		}
+		ac.Add(u, u, -r2-r3)
+	}
+	ac.Add(n, n, -sumMu) // the entry's R4 exit
+	act := linalg.NewMatrix(n+1, n+1)
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			act.Set(i, j, ac.At(j, i))
+		}
+	}
+	// A singular factorization only arises from non-finite rates; the engine
+	// then runs on Jacobi alone and the acceptance test judges the result.
+	if lu, err := linalg.Factor(ac); err == nil {
+		kp.lu = lu
+	}
+	if lu, err := linalg.Factor(act); err == nil {
+		kp.luT = lu
+	}
+	return kp
+}
+
+// choose returns C(n, k) as a float64 (0 outside the triangle); exact for
+// every n ≤ MaxExactProcesses+6.
+func choose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c = c * float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+func (kp *kronPrecond) forward(dst, src []float64)    { kp.apply(dst, src, kp.lu) }
+func (kp *kronPrecond) transposed(dst, src []float64) { kp.apply(dst, src, kp.luT) }
+
+// apply computes dst = D⁻¹·src + P·Ac⁻¹·R·src: the additive two-level sweep.
+// The coarse restriction R sums each popcount level; the prolongation P
+// injects the level correction back to every vertex of the level. (Restricting
+// the transposed system uses Acᵀ, since the level aggregation is symmetric:
+// R·Q_Tᵀ·P = (R·Q_T·P)ᵀ.)
+func (kp *kronPrecond) apply(dst, src []float64, lu *linalg.LU) {
+	if lu == nil {
+		for s, v := range src {
+			dst[s] = v / kp.diag[s]
+		}
+		return
+	}
+	rc := make([]float64, kp.nlev)
+	for s, v := range src {
+		dst[s] = v / kp.diag[s]
+		rc[bits.OnesCount(uint(s))] += v
+	}
+	ec, err := lu.Solve(rc)
+	if err != nil {
+		return
+	}
+	for s := range dst {
+		dst[s] += ec[bits.OnesCount(uint(s))]
+	}
+}

@@ -44,8 +44,11 @@ func NewSplitChain(p Params, target int) (*SplitChain, error) {
 	if target < 0 || target >= n {
 		return nil, fmt.Errorf("rbmodel: target %d out of range", target)
 	}
-	if n > MaxExactProcesses {
-		return nil, fmt.Errorf("rbmodel: n = %d exceeds MaxExactProcesses = %d", n, MaxExactProcesses)
+	if n > MaxEnumeratedProcesses {
+		// The split chain enumerates ~3·2^(n-1) discrete states with no
+		// matrix-free counterpart; past the enumeration wall E[L_t] comes from
+		// the Wald identity instead (MeanLWald).
+		return nil, fmt.Errorf("rbmodel: n = %d exceeds MaxEnumeratedProcesses = %d", n, MaxEnumeratedProcesses)
 	}
 	s := &SplitChain{
 		P:             p,

@@ -69,6 +69,49 @@ func EveryKGrid() []Scenario {
 	}
 }
 
+// KronGrid is the matrix-free proof grid: cells past the n = 16 enumeration
+// wall. The per-process μ ramps are pairwise distinct, so orbit lumping
+// refuses every cell and the async model takes the Kronecker–Krylov route —
+// the grid is the end-to-end evidence that the O(n·2^n) matrix-free engine
+// agrees with the event-driven simulator where no materialized chain can be
+// built. λ is sized for ρ = 2λ·C(n,2)/Σμ ≈ 1, the regime where interactions
+// matter but recovery lines still form at observable frequency. Only the
+// n = 18 cell carries a deadline (the transient sweep is the costliest
+// surface); replication budgets are modest because each cell also pays an
+// exact 2^n-vector solve. Run by `go test ./internal/xval` (n = 18 only,
+// not -short) and `rbrepro xval -kron` (all cells).
+func KronGrid() []Scenario {
+	return []Scenario{
+		{Name: "kron-n18-ramp", Mu: muRamp(18, 0.80, 0.05), Lambda: lambdaForRho(muRamp(18, 0.80, 0.05), 1),
+			SyncThreshold: 1, Deadline: 8, Reps: 4000, Seed: 4183},
+		{Name: "kron-n20-ramp", Mu: muRamp(20, 0.70, 0.04), Lambda: lambdaForRho(muRamp(20, 0.70, 0.04), 1),
+			SyncThreshold: 1, Reps: 3000, Seed: 4283},
+		{Name: "kron-n24-ramp", Mu: muRamp(24, 0.60, 0.03), Lambda: lambdaForRho(muRamp(24, 0.60, 0.03), 1),
+			SyncThreshold: 1, Reps: 3000, Seed: 4383},
+	}
+}
+
+// muRamp returns the arithmetic ramp μ_i = base + i·step — the simplest rate
+// vector with n distinct values, guaranteed non-lumpable.
+func muRamp(n int, base, step float64) []float64 {
+	mu := make([]float64, n)
+	for i := range mu {
+		mu[i] = base + float64(i)*step
+	}
+	return mu
+}
+
+// lambdaForRho returns the uniform interaction rate putting the cell at the
+// given interaction intensity ρ = 2λ·C(n,2)/Σμ.
+func lambdaForRho(mu []float64, rho float64) float64 {
+	sum := 0.0
+	for _, m := range mu {
+		sum += m
+	}
+	n := float64(len(mu))
+	return rho * sum / (n * (n - 1))
+}
+
 // FullGrid is the thorough sweep run by `rbrepro xval` (without -quick):
 // larger replication budgets for tight intervals, more points along every
 // axis. Runtime is dominated by the Monte Carlo budgets and parallelizes

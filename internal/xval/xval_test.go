@@ -155,7 +155,7 @@ func TestScenarioValidation(t *testing.T) {
 		{Name: "neg-mu", Mu: []float64{-1}, Reps: 100},
 		{Name: "neg-lambda", Mu: []float64{1}, Lambda: -1, Reps: 100},
 		{Name: "no-reps", Mu: []float64{1}},
-		{Name: "huge", Mu: ones(20), Reps: 100}, // exceeds MaxExactProcesses
+		{Name: "huge", Mu: ones(25), Reps: 100}, // exceeds MaxExactProcesses = 24
 	}
 	for _, sc := range bad {
 		if _, err := Run([]Scenario{sc}, Options{}); err == nil {

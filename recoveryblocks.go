@@ -569,6 +569,11 @@ func CompareStrategies(ks []int) (*StrategyComparison, error) {
 // `rbrepro xval -strategy sync-every-k` sweeps.
 func XValEveryKGrid() []XValScenario { return xval.EveryKGrid() }
 
+// XValKronGrid returns the matrix-free proof grid: n ∈ {18, 20, 24} cells
+// past the enumeration wall whose distinct-μ ramps force the
+// Kronecker–Krylov route — `rbrepro xval -kron` sweeps it.
+func XValKronGrid() []XValScenario { return xval.KronGrid() }
+
 // ---- Chaos harness (internal/chaos) ----
 
 type (
@@ -663,8 +668,16 @@ func PublishMetricsExpvar() { obs.PublishExpvar() }
 // Limits reports the compiled-in structural bounds of the analysis stack —
 // the numbers that decide which route a given workload takes.
 type Limits struct {
-	// MaxExactProcesses bounds the full model's exact chain (2^n + 1 states).
+	// MaxExactProcesses bounds the full model's exact solve: past the
+	// enumeration wall the matrix-free Kronecker–Krylov engine carries the
+	// answer up to this n.
 	MaxExactProcesses int `json:"max_exact_processes"`
+	// MaxEnumeratedProcesses bounds the materialized 2^n+1-state chain; above
+	// it the async model routes to orbit lumping or the matrix-free engine.
+	MaxEnumeratedProcesses int `json:"max_enumerated_processes"`
+	// KronCutoff is the state count at and above which lumped chains are
+	// abandoned for the matrix-free Kronecker route.
+	KronCutoff int `json:"kron_cutoff"`
 	// SparseCutoff is the transient-state count at and above which chain
 	// solves switch from dense LU to the CSR two-level Gauss–Seidel route.
 	SparseCutoff int `json:"sparse_cutoff"`
@@ -680,10 +693,12 @@ type Limits struct {
 // EngineLimits returns the structural bounds compiled into this build.
 func EngineLimits() Limits {
 	return Limits{
-		MaxExactProcesses:  rbmodel.MaxExactProcesses,
-		SparseCutoff:       markov.SparseCutoff,
-		DefaultBlockSize:   mc.DefaultBlockSize,
-		MaxEveryK:          strategy.MaxEveryK,
-		MaxAliasCategories: dist.MaxAliasCategories,
+		MaxExactProcesses:      rbmodel.MaxExactProcesses,
+		MaxEnumeratedProcesses: rbmodel.MaxEnumeratedProcesses,
+		KronCutoff:             markov.KronCutoff,
+		SparseCutoff:           markov.SparseCutoff,
+		DefaultBlockSize:       mc.DefaultBlockSize,
+		MaxEveryK:              strategy.MaxEveryK,
+		MaxAliasCategories:     dist.MaxAliasCategories,
 	}
 }
